@@ -1,0 +1,296 @@
+// bench_ablation_clocks — Experiment E12 (ablation; EXPERIMENTS.md).
+//
+// Is the paper's logical-clock mechanism load-bearing? The Figure 4
+// register is run over three access-function variants under Figure 1's f1:
+//
+//   full          — Figure 3 as published (both clock waits);
+//   no-get-cutoff — quorum_get accepts arbitrarily stale gossip
+//                   (drops lines 5-8);
+//   no-set-wait   — quorum_set returns without waiting for read-quorum
+//                   clocks (drops lines 18-20);
+//
+// Workload: alternating rounds — a writes then b reads (sequentially), so
+// every read *must* observe the preceding write. Histories are checked
+// with the black-box Wing–Gong checker. The published protocol must show
+// 0 violations; each ablation must show stale reads on some seeds —
+// demonstrating that both waits are necessary for Real-time ordering
+// (Theorem 3), not just sufficient machinery.
+#include <iostream>
+
+#include "lincheck/wing_gong.hpp"
+#include "quorum/qaf_ablation.hpp"
+#include "workload/table.hpp"
+#include "workload/worlds.hpp"
+
+namespace {
+
+using namespace gqs;
+
+struct ablation_result {
+  int runs = 0;
+  int completed = 0;       // runs where all ops finished
+  int violations = 0;      // runs with a non-linearizable history
+  int stale_reads = 0;     // reads returning an older value than written
+};
+
+template <class RegNode, class... Args>
+ablation_result run_variant(int seeds, Args&&... node_args) {
+  ablation_result out;
+  const auto fig = make_figure1();
+  constexpr process_id a = 0, b = 1;
+  for (int seed = 0; seed < seeds; ++seed) {
+    ++out.runs;
+    register_world<RegNode> w(4, fault_plan::from_pattern(fig.gqs.fps[0], 0),
+                              seed, network_options{}, node_args...);
+    bool all_done = true;
+    int stale = 0;
+    for (int round = 0; round < 6 && all_done; ++round) {
+      const auto wi = w.client.invoke_write(a, 1000 + round);
+      all_done &= w.sim.run_until_condition(
+          [&] { return w.client.complete(wi); },
+          w.sim.now() + 600L * 1000 * 1000);
+      if (!all_done) break;
+      const auto ri = w.client.invoke_read(b);
+      all_done &= w.sim.run_until_condition(
+          [&] { return w.client.complete(ri); },
+          w.sim.now() + 600L * 1000 * 1000);
+      if (all_done && w.client.history()[ri].value != 1000 + round) ++stale;
+    }
+    if (!all_done) continue;
+    ++out.completed;
+    out.stale_reads += stale;
+    if (!check_linearizable(w.client.history()).linearizable)
+      ++out.violations;
+  }
+  return out;
+}
+
+std::string row_fmt(const ablation_result& r) {
+  return std::to_string(r.violations) + "/" + std::to_string(r.completed);
+}
+
+/// Scenario B: no failures at all, threshold quorums (n = 3, k = 1), but
+/// process p1 starts with its logical clock offset by +100 — legal, since
+/// the protocol never compares clocks across processes for equality, and
+/// exactly the situation where a quorum_set that skips its read-quorum
+/// confirmation (lines 18-20) lets a later quorum_get build its cutoff
+/// from the low-clock processes and then satisfy its read-quorum wait
+/// with *pre-apply* cached gossip from the high-clock one.
+/// Writer p0, reader p2, strictly alternating.
+ablation_result run_skewed(int seeds, bool use_get_cutoff,
+                           bool use_set_confirmation) {
+  ablation_result out;
+  const auto qs = threshold_quorum_system(3, 1);
+  const quorum_config qc = quorum_config::of(qs);
+  const std::uint64_t offsets[] = {0, 100, 0};
+  for (int seed = 0; seed < seeds; ++seed) {
+    ++out.runs;
+    simulation sim(3, network_options{}, fault_plan::none(3), seed);
+    std::vector<ablated_register_node*> nodes;
+    for (process_id p = 0; p < 3; ++p) {
+      ablated_qaf_options opts;
+      opts.initial_clock = offsets[p];
+      opts.use_get_cutoff = use_get_cutoff;
+      opts.use_set_confirmation = use_set_confirmation;
+      auto comp =
+          std::make_unique<ablated_register_node>(qc, reg_state{}, opts);
+      nodes.push_back(comp.get());
+      sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+    }
+    register_client<ablated_register_node> client(sim, nodes);
+    sim.start();
+    sim.run_until(0);
+
+    bool all_done = true;
+    int stale = 0;
+    for (int round = 0; round < 8 && all_done; ++round) {
+      const auto wi = client.invoke_write(0, 1000 + round);
+      all_done &= sim.run_until_condition(
+          [&] { return client.complete(wi); }, sim.now() + 600L * 1000 * 1000);
+      if (!all_done) break;
+      const auto ri = client.invoke_read(2);
+      all_done &= sim.run_until_condition(
+          [&] { return client.complete(ri); }, sim.now() + 600L * 1000 * 1000);
+      if (all_done && client.history()[ri].value != 1000 + round) ++stale;
+    }
+    if (!all_done) continue;
+    ++out.completed;
+    out.stale_reads += stale;
+    if (!check_linearizable(client.history()).linearizable) ++out.violations;
+  }
+  return out;
+}
+
+/// Scenario C: a crafted GQS where the reader's clock-cutoff write quorum
+/// is DISJOINT from the writer's — the exact hole Lemma 1's set wait
+/// closes. n = 4, writer p0, reader p3:
+///
+///   Writes = {W1 = {0,1}, W2 = {2,3}},  Reads = {R = {1,2}}
+///   alive channels: 0→1, 1→0, 1→3, 3→2, 2→3, 2→1 (rest disconnected)
+///
+/// p0's sets commit through W1 (2 hops round trip) while p3's clock
+/// cutoffs resolve through W2 (direct), so c_get never sees a W1 clock.
+/// p1 carries the update into R but runs its clock +1000 ahead: its
+/// *stale* cached gossip passes any W2-derived cutoff. The SET_REQ needs
+/// 3 hops (0→1→3→2) to reach p2, so the reader's cutoff + p2's next
+/// gossip often beat the update there. Without the set-confirmation wait
+/// the read then returns {stale p1, pre-apply p2}.
+ablation_result run_disjoint(int seeds, bool use_get_cutoff,
+                             bool use_set_confirmation) {
+  ablation_result out;
+  quorum_config qc{{process_set{1, 2}},
+                   {process_set{0, 1}, process_set{2, 3}}};
+  for (int seed = 0; seed < seeds; ++seed) {
+    ++out.runs;
+    fault_plan faults = fault_plan::none(4);
+    const std::pair<process_id, process_id> alive[] = {
+        {0, 1}, {1, 0}, {1, 3}, {3, 2}, {2, 3}, {2, 1}};
+    for (process_id u = 0; u < 4; ++u)
+      for (process_id v = 0; v < 4; ++v) {
+        if (u == v) continue;
+        bool keep = false;
+        for (const auto& [a, b] : alive) keep |= (a == u && b == v);
+        if (!keep) faults.disconnect(u, v, 0);
+      }
+    simulation sim(4, network_options{}, std::move(faults), seed);
+    std::vector<ablated_register_node*> nodes;
+    for (process_id p = 0; p < 4; ++p) {
+      ablated_qaf_options opts;
+      opts.use_get_cutoff = use_get_cutoff;
+      opts.use_set_confirmation = use_set_confirmation;
+      // p1's clock runs +1000 ahead: its *cached* gossip then passes any
+      // W2-derived cutoff even when it predates the latest update. Equal
+      // gossip rates keep the lag constant (liveness intact).
+      if (p == 1) opts.initial_clock = 1000;
+      auto comp =
+          std::make_unique<ablated_register_node>(qc, reg_state{}, opts);
+      nodes.push_back(comp.get());
+      sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+    }
+    register_client<ablated_register_node> client(sim, nodes);
+    sim.start();
+    sim.run_until(0);
+
+    bool all_done = true;
+    int stale = 0;
+    for (int round = 0; round < 6 && all_done; ++round) {
+      const auto wi = client.invoke_write(0, 1000 + round);
+      all_done &= sim.run_until_condition(
+          [&] { return client.complete(wi); }, sim.now() + 600L * 1000 * 1000);
+      if (!all_done) break;
+      const auto ri = client.invoke_read(3);
+      all_done &= sim.run_until_condition(
+          [&] { return client.complete(ri); }, sim.now() + 600L * 1000 * 1000);
+      if (all_done && client.history()[ri].value != 1000 + round) ++stale;
+    }
+    if (!all_done) continue;
+    ++out.completed;
+    out.stale_reads += stale;
+    if (!check_linearizable(client.history()).linearizable) ++out.violations;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_ablation_clocks — are Figure 3's clock waits "
+               "load-bearing?\n";
+  print_heading(
+      "Write-at-a-then-read-at-b rounds under f1, 30 seeds per variant "
+      "(violations = runs with a non-linearizable history)");
+
+  const auto fig = make_figure1();
+  const quorum_config qc = quorum_config::of(fig.gqs);
+  const int seeds = 30;
+
+  text_table t({"variant", "violating runs", "stale reads (total)",
+                "expected"});
+
+  {
+    const auto r = run_variant<gqs_register_node>(
+        seeds, qc, reg_state{}, generalized_qaf_options{});
+    t.add_row({"full (Figure 3)", row_fmt(r), std::to_string(r.stale_reads),
+               "0 — Theorem 3"});
+  }
+  {
+    ablated_qaf_options opts;
+    opts.use_get_cutoff = false;
+    const auto r =
+        run_variant<ablated_register_node>(seeds, qc, reg_state{}, opts);
+    t.add_row({"no get cutoff (drop lines 5-8)", row_fmt(r),
+               std::to_string(r.stale_reads), "> 0 — stale gossip"});
+  }
+  {
+    ablated_qaf_options opts;
+    opts.use_set_confirmation = false;
+    const auto r =
+        run_variant<ablated_register_node>(seeds, qc, reg_state{}, opts);
+    t.add_row({"no set confirmation (drop lines 18-20)", row_fmt(r),
+               std::to_string(r.stale_reads),
+               "0 here — single usable W masks it; see scenario C"});
+  }
+  {
+    ablated_qaf_options opts;
+    opts.use_get_cutoff = false;
+    opts.use_set_confirmation = false;
+    const auto r =
+        run_variant<ablated_register_node>(seeds, qc, reg_state{}, opts);
+    t.add_row({"neither wait", row_fmt(r), std::to_string(r.stale_reads),
+               "> 0"});
+  }
+  t.print();
+
+  print_heading(
+      "Scenario B: skewed logical clocks (threshold n=3 k=1, NO failures; "
+      "p1 starts at clock 100; writer p0, reader p2; 30 seeds)");
+  text_table t2({"variant", "violating runs", "stale reads (total)",
+                 "expected"});
+  {
+    const auto r = run_skewed(seeds, true, true);
+    t2.add_row({"full (Figure 3)", row_fmt(r), std::to_string(r.stale_reads),
+                "0 — Theorem 3 holds for any clock rates"});
+  }
+  {
+    const auto r = run_skewed(seeds, true, false);
+    t2.add_row({"no set confirmation (drop lines 18-20)", row_fmt(r),
+                std::to_string(r.stale_reads),
+                "0 here — intersecting W's mask it; see scenario C"});
+  }
+  {
+    const auto r = run_skewed(seeds, false, true);
+    t2.add_row({"no get cutoff (drop lines 5-8)", row_fmt(r),
+                std::to_string(r.stale_reads), "> 0 — stale gossip"});
+  }
+  t2.print();
+  std::cout
+      << "\nNote: in scenarios A/B, dropping ONLY the set confirmation\n"
+         "rarely bites: threshold write quorums pairwise intersect, so the\n"
+         "get cutoff already sees a clock from a process that applied the\n"
+         "update, and flooded SET_REQs refresh every reachable replica.\n"
+         "Scenario C removes both crutches.\n";
+
+  print_heading(
+      "Scenario C: disjoint write quorums W1={0,1}, W2={2,3}, R={1,2}; "
+      "writer p0 commits via W1, reader p3 cutoffs via W2 (30 seeds)");
+  text_table t3({"variant", "violating runs", "stale reads (total)",
+                 "expected"});
+  {
+    const auto r = run_disjoint(seeds, true, true);
+    t3.add_row({"full (Figure 3)", row_fmt(r), std::to_string(r.stale_reads),
+                "0 — Lemma 1 closes the hole"});
+  }
+  {
+    const auto r = run_disjoint(seeds, true, false);
+    t3.add_row({"no set confirmation (drop lines 18-20)", row_fmt(r),
+                std::to_string(r.stale_reads),
+                "> 0 — cutoff never sees W1 clocks"});
+  }
+  t3.print();
+
+  std::cout << "\nShape check: the published protocol never violates\n"
+               "linearizability in any scenario; removing either clock\n"
+               "wait admits stale reads in the scenario engineered for it —\n"
+               "each of the two mechanisms is individually necessary.\n";
+  return 0;
+}

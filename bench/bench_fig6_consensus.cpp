@@ -1,0 +1,126 @@
+// bench_fig6_consensus — Experiment E8 (DESIGN.md §5).
+//
+// The Figure 6 consensus protocol under partial synchrony: decision
+// latency at every U_f member per Figure 1 pattern, a sweep of the view
+// duration constant C, and a sweep of GST (how long the network stays
+// asynchronous). Safety (Agreement/Validity) and termination within U_f
+// are checked on every run.
+#include <iostream>
+
+#include "workload/stats.hpp"
+#include "workload/table.hpp"
+#include "workload/worlds.hpp"
+
+namespace {
+
+using namespace gqs;
+
+struct run_result {
+  bool all_decided = false;
+  bool safe = false;
+  sample_summary decide_us;  // over U_f members
+  double messages = 0;
+};
+
+run_result run(int pattern, sim_time gst, consensus_options opts,
+               std::uint64_t seed, sim_time horizon) {
+  const auto fig = make_figure1();
+  const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+  consensus_world w(fig.gqs, fault_plan::from_pattern(fig.gqs.fps[pattern], 0),
+                    seed, consensus_world::partial_sync(gst), opts);
+  std::int64_t v = 1;
+  for (process_id p : u_f) w.client.invoke_propose(p, v++);
+  run_result out;
+  out.all_decided = w.sim.run_until_condition(
+      [&] { return w.client.all_decided(u_f); }, horizon);
+  out.safe = check_consensus(w.client.outcomes(), out.all_decided ? u_f
+                                                                  : process_set{})
+                 .linearizable;
+  std::vector<double> times;
+  if (out.all_decided)
+    for (process_id p : u_f)
+      times.push_back(static_cast<double>(w.client.decide_time(p)));
+  out.decide_us = summarize(std::move(times));
+  out.messages = static_cast<double>(w.sim.metrics().messages_sent);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_fig6_consensus — Figure 6 under partial synchrony\n";
+
+  print_heading(
+      "Decision latency per pattern (GST = 0, C = 50 ms, proposals at all "
+      "U_f members at t = 0; mean over 5 seeds)");
+  {
+    text_table t({"pattern", "decided", "safe", "decide time mean/p50/p95",
+                  "msgs (whole run)"});
+    for (int pattern = 0; pattern < 4; ++pattern) {
+      std::vector<double> all_times;
+      bool all_ok = true, all_safe = true;
+      double msgs = 0;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const run_result r =
+            run(pattern, 0, {}, seed, 600L * 1000 * 1000);
+        all_ok &= r.all_decided;
+        all_safe &= r.safe;
+        msgs += r.messages / 5.0;
+        if (r.all_decided) {
+          all_times.push_back(r.decide_us.mean);
+        }
+      }
+      t.add_row({"f" + std::to_string(pattern + 1), all_ok ? "yes" : "NO",
+                 all_safe ? "yes" : "NO",
+                 fmt_latency_summary(summarize(std::move(all_times))),
+                 fmt_count(static_cast<std::uint64_t>(msgs))});
+    }
+    t.print();
+  }
+
+  print_heading("View-duration constant C sweep (pattern f1, GST = 0)");
+  {
+    text_table t({"C", "decided", "decide time mean/p50/p95"});
+    for (sim_time c_ms : {10, 25, 50, 100, 200}) {
+      consensus_options opts;
+      opts.view_duration_unit = c_ms * 1000;
+      std::vector<double> times;
+      bool ok = true;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const run_result r =
+            run(0, 0, opts, 100 + seed, 1800L * 1000 * 1000);
+        ok &= r.all_decided;
+        if (r.all_decided) times.push_back(r.decide_us.mean);
+      }
+      t.add_row({std::to_string(c_ms) + " ms", ok ? "yes" : "NO",
+                 fmt_latency_summary(summarize(std::move(times)))});
+    }
+    t.print();
+    std::cout << "\nShape check: too-small C wastes early views (leaders\n"
+                 "cannot assemble quorums in time), large C pays the full\n"
+                 "view length before the first useful leader — decision\n"
+                 "time is mildly U-shaped in C.\n";
+  }
+
+  print_heading("GST sweep (pattern f1, C = 50 ms)");
+  {
+    text_table t({"GST", "decided", "decide time mean/p50/p95"});
+    for (sim_time gst_ms : {0, 250, 500, 1000, 2000}) {
+      std::vector<double> times;
+      bool ok = true;
+      for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        const run_result r = run(0, gst_ms * 1000, {}, 200 + seed,
+                                 3600L * 1000 * 1000);
+        ok &= r.all_decided;
+        if (r.all_decided) times.push_back(r.decide_us.mean);
+      }
+      t.add_row({std::to_string(gst_ms) + " ms", ok ? "yes" : "NO",
+                 fmt_latency_summary(summarize(std::move(times)))});
+    }
+    t.print();
+    std::cout << "\nShape check: decisions land shortly after GST — the\n"
+                 "decision time tracks GST plus a few views' worth of\n"
+                 "stabilization, exactly Theorem 5's liveness argument.\n";
+  }
+  return 0;
+}

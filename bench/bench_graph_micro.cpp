@@ -1,0 +1,98 @@
+// bench_graph_micro — Experiment E11 (DESIGN.md §5).
+//
+// google-benchmark microbenchmarks of the combinatorial kernels everything
+// else is built on: SCC decomposition, reachability closures, the
+// Definition 2 check, U_f computation and the existence search.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/existence.hpp"
+#include "core/factories.hpp"
+#include "core/random_systems.hpp"
+
+namespace {
+
+using namespace gqs;
+
+digraph random_graph(process_id n, double density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution edge_flip(density);
+  digraph g(n);
+  for (process_id u = 0; u < n; ++u)
+    for (process_id v = 0; v < n; ++v)
+      if (u != v && edge_flip(rng)) g.add_edge(u, v);
+  return g;
+}
+
+void bm_sccs(benchmark::State& state) {
+  const auto g = random_graph(static_cast<process_id>(state.range(0)), 0.15, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(g.sccs());
+}
+BENCHMARK(bm_sccs)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_reachable_from(benchmark::State& state) {
+  const auto g = random_graph(static_cast<process_id>(state.range(0)), 0.15, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(g.reachable_from(0));
+}
+BENCHMARK(bm_reachable_from)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bm_transitive_closure(benchmark::State& state) {
+  const auto g = random_graph(static_cast<process_id>(state.range(0)), 0.15, 9);
+  for (auto _ : state) benchmark::DoNotOptimize(g.transitive_closure());
+}
+BENCHMARK(bm_transitive_closure)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_check_generalized_figure1(benchmark::State& state) {
+  const auto fig = make_figure1();
+  for (auto _ : state) benchmark::DoNotOptimize(check_generalized(fig.gqs));
+}
+BENCHMARK(bm_check_generalized_figure1);
+
+void bm_check_classical_threshold(benchmark::State& state) {
+  const auto qs =
+      threshold_quorum_system(static_cast<process_id>(state.range(0)),
+                              (static_cast<int>(state.range(0)) - 1) / 2);
+  for (auto _ : state) benchmark::DoNotOptimize(check_classical(qs));
+}
+BENCHMARK(bm_check_classical_threshold)->Arg(5)->Arg(7)->Arg(9);
+
+void bm_compute_uf(benchmark::State& state) {
+  const auto fig = make_figure1();
+  for (auto _ : state)
+    for (int i = 0; i < 4; ++i)
+      benchmark::DoNotOptimize(compute_u_f(fig.gqs, fig.gqs.fps[i]));
+}
+BENCHMARK(bm_compute_uf);
+
+void bm_find_gqs_figure1(benchmark::State& state) {
+  const auto fps = make_figure1().gqs.fps;
+  for (auto _ : state) benchmark::DoNotOptimize(find_gqs(fps));
+}
+BENCHMARK(bm_find_gqs_figure1);
+
+void bm_find_gqs_example9(benchmark::State& state) {
+  const auto fps = make_example9_variant();  // the unsatisfiable instance
+  for (auto _ : state) benchmark::DoNotOptimize(find_gqs(fps));
+}
+BENCHMARK(bm_find_gqs_example9);
+
+void bm_find_gqs_random(benchmark::State& state) {
+  std::mt19937_64 rng(11);
+  random_system_params params;
+  params.n = static_cast<process_id>(state.range(0));
+  params.patterns = 4;
+  std::vector<fail_prone_system> instances;
+  for (int i = 0; i < 32; ++i)
+    instances.push_back(random_fail_prone_system(params, rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_gqs(instances[i % instances.size()]));
+    ++i;
+  }
+}
+BENCHMARK(bm_find_gqs_random)->Arg(5)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

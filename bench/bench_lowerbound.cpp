@@ -1,0 +1,197 @@
+// bench_lowerbound — Experiment E10 (DESIGN.md §5).
+//
+// The Theorem 2 machinery as an algorithm:
+//   * scaling of the GQS existence search (SCC-choice backtracking) with
+//     system size n and |F| on random process+channel fail-prone systems;
+//   * agreement between the pruned search and exhaustive enumeration;
+//   * admission rate as channel failure probability grows (how much
+//     failure a system can absorb before no GQS exists);
+//   * the canonical construction: whenever the search finds a witness,
+//     building (R, W) from tau(f) = U_f must reproduce a valid GQS.
+#include <chrono>
+#include <iostream>
+
+#include "core/existence.hpp"
+#include "core/minimize.hpp"
+#include "core/random_systems.hpp"
+#include "workload/stats.hpp"
+#include "workload/table.hpp"
+#include "workload/worlds.hpp"
+
+namespace {
+
+using namespace gqs;
+
+double wall_us(const std::function<void()>& fn) {
+  const auto begin = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - begin).count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_lowerbound — Theorem 2 construction and existence "
+               "search\n";
+
+  print_heading(
+      "Search scaling on random fail-prone systems (crash prob 0.2, "
+      "channel-failure prob 0.3; 50 instances per row)");
+  {
+    text_table t({"n", "|F|", "admits GQS", "search time mean/p95 (us)",
+                  "search==exhaustive"});
+    std::mt19937_64 rng(1);
+    for (process_id n : {4u, 5u, 6u, 8u}) {
+      for (int patterns : {2, 4, 6}) {
+        random_system_params params;
+        params.n = n;
+        params.patterns = patterns;
+        int admitted = 0, agreed = 0;
+        std::vector<double> times;
+        const int instances = 50;
+        for (int i = 0; i < instances; ++i) {
+          const auto fps = random_fail_prone_system(params, rng);
+          std::optional<gqs_witness> witness;
+          times.push_back(wall_us([&] { witness = find_gqs(fps); }));
+          admitted += witness.has_value();
+          agreed += witness.has_value() == gqs_exists_exhaustive(fps);
+        }
+        const auto s = summarize(std::move(times));
+        t.add_row({std::to_string(n), std::to_string(patterns),
+                   fmt_double(100.0 * admitted / instances, 0) + "%",
+                   fmt_double(s.mean, 1) + " / " + fmt_double(s.p95, 1),
+                   agreed == instances ? "yes" : "NO"});
+      }
+    }
+    t.print();
+  }
+
+  print_heading(
+      "Failure absorption vs channel failure probability (n = 5, |F| = 4, "
+      "100 instances per row)");
+  {
+    // A single process correct under every pattern already yields a
+    // trivial GQS with singleton quorums — so raw admission stays high
+    // (the GQS condition is *weak*; that is the paper's point). The
+    // interesting decay is in the guarantees: the size of the termination
+    // sets U_f shrinks towards 1 as channels fail, i.e. wait-freedom is
+    // promised at ever fewer processes.
+    text_table t({"channel fail prob", "admits GQS", "avg min |U_f|",
+                  "avg mean |U_f|", "singleton-W witnesses"});
+    std::mt19937_64 rng(2);
+    for (double prob : {0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+      random_system_params params;
+      params.n = 5;
+      params.patterns = 4;
+      params.channel_fail_probability = prob;
+      int admitted = 0, singleton = 0;
+      double min_uf_sum = 0, mean_uf_sum = 0;
+      const int instances = 100;
+      for (int i = 0; i < instances; ++i) {
+        const auto witness = find_gqs(random_fail_prone_system(params, rng));
+        if (!witness) continue;
+        ++admitted;
+        int min_uf = 64;
+        double mean_uf = 0;
+        bool has_singleton = false;
+        for (std::size_t k = 0; k < witness->max_termination.size(); ++k) {
+          const int size = witness->max_termination[k].size();
+          min_uf = std::min(min_uf, size);
+          mean_uf += size;
+          has_singleton |= witness->chosen_writes[k].size() == 1;
+        }
+        min_uf_sum += min_uf;
+        mean_uf_sum += mean_uf / static_cast<double>(params.patterns);
+        singleton += has_singleton;
+      }
+      t.add_row({fmt_double(prob, 1),
+                 fmt_double(100.0 * admitted / instances, 0) + "%",
+                 admitted ? fmt_double(min_uf_sum / admitted, 2) : "-",
+                 admitted ? fmt_double(mean_uf_sum / admitted, 2) : "-",
+                 admitted
+                     ? fmt_double(100.0 * singleton / admitted, 0) + "%"
+                     : "-"});
+    }
+    t.print();
+    std::cout
+        << "\nShape check: raw admission stays high (singleton quorums make\n"
+           "the GQS condition very weak), but the termination sets U_f\n"
+           "shrink towards singletons as channel failures grow — the\n"
+           "guarantee degrades from 'wait-free at ~all correct processes'\n"
+           "to 'wait-free at one process'.\n";
+  }
+
+  print_heading(
+      "Quorum minimization (E14): the search's maximal witness vs its "
+      "inclusion-minimal shrink, running 10 register writes at a under f1");
+  {
+    const auto fig = make_figure1();
+    const auto witness = find_gqs(fig.gqs.fps);
+    const auto minimized = minimize_quorums(witness->system);
+    text_table t({"quorums", "total members", "write latency mean/p50/p95",
+                  "msgs/op"});
+    auto measure = [&](const generalized_quorum_system& system,
+                       const std::string& label) {
+      register_world<gqs_register_node> w(
+          4, fault_plan::from_pattern(fig.gqs.fps[0], 0), 9,
+          network_options{}, quorum_config::of(system), reg_state{},
+          generalized_qaf_options{});
+      std::vector<double> lat;
+      std::uint64_t msgs = 0;
+      for (int i = 0; i < 10; ++i) {
+        const sim_time begin = w.sim.now();
+        const std::uint64_t before = w.sim.metrics().messages_sent;
+        const auto idx = w.client.invoke_write(0, i);
+        if (!w.sim.run_until_condition(
+                [&] { return w.client.complete(idx); },
+                begin + 600L * 1000 * 1000))
+          break;
+        lat.push_back(static_cast<double>(w.sim.now() - begin));
+        msgs += w.sim.metrics().messages_sent - before;
+      }
+      const double n_ops = static_cast<double>(lat.size());
+      t.add_row({label, std::to_string(total_quorum_size(system)),
+                 fmt_latency_summary(summarize(std::move(lat))),
+                 n_ops ? fmt_double(static_cast<double>(msgs) / n_ops, 1)
+                       : "-"});
+    };
+    measure(witness->system, "maximal (search witness)");
+    measure(minimized, "minimized");
+    t.print();
+    std::cout
+        << "\nShape check (a finding, not a win): minimization shrinks the\n"
+           "structural quorums (20 → 16 members) at identical safety (same\n"
+           "U_f, Definition 2 re-checked), but under the flooding transport\n"
+           "the run cost is FLAT — every message is relayed everywhere\n"
+           "regardless of quorum size, and the protocol's waits are paced\n"
+           "by the gossip period, not by quorum cardinality. Smaller\n"
+           "quorums pay off only under point-to-point routing, which the\n"
+           "paper's WLOG transitive-connectivity assumption deliberately\n"
+           "abstracts away.\n";
+  }
+
+  print_heading(
+      "Canonical construction round-trip (every witness rebuilt from tau = "
+      "U_f must check out; 200 random admitting systems)");
+  {
+    std::mt19937_64 rng(3);
+    random_system_params params;
+    params.n = 5;
+    params.patterns = 3;
+    int checked = 0, ok = 0;
+    while (checked < 200) {
+      const auto witness = random_gqs(params, rng, 1000);
+      if (!witness) break;
+      ++checked;
+      termination_mapping tau = witness->max_termination;
+      const auto rebuilt = canonical_construction(witness->system.fps, tau);
+      ok += rebuilt && check_generalized(*rebuilt).ok;
+    }
+    text_table t({"witnesses tested", "canonical construction valid"});
+    t.add_row({std::to_string(checked),
+               std::to_string(ok) + "/" + std::to_string(checked)});
+    t.print();
+  }
+  return 0;
+}

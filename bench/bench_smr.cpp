@@ -1,0 +1,103 @@
+// bench_smr — Experiment E13 (extension; EXPERIMENTS.md).
+//
+// State machine replication over GQS consensus: commit latency per log
+// slot and convergence of the committed prefix across replicas, under the
+// healthy network and under every Figure 1 failure pattern. The paper
+// stops at single-decree consensus; this bench documents what the
+// composition (one Figure 6 instance per slot, multiplexed) costs.
+#include <iostream>
+
+#include "smr/replicated_log.hpp"
+#include "workload/stats.hpp"
+#include "workload/table.hpp"
+#include "workload/worlds.hpp"
+
+namespace {
+
+using namespace gqs;
+
+struct smr_run {
+  bool completed = false;
+  sample_summary commit_us;
+  std::size_t prefix_a = 0;  // committed prefix at the first U_f member
+};
+
+smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
+            process_set submitters, int commands, std::uint64_t seed) {
+  smr_run out;
+  simulation sim(gqs.system_size(), consensus_world::partial_sync(),
+                 f ? fault_plan::from_pattern(*f, 0)
+                   : fault_plan::none(gqs.system_size()),
+                 seed);
+  std::vector<replicated_log_node*> replicas;
+  for (process_id p = 0; p < gqs.system_size(); ++p) {
+    auto nd = std::make_unique<replicated_log_node>(
+        gqs.system_size(), quorum_config::of(gqs),
+        static_cast<std::size_t>(commands) + 4);
+    replicas.push_back(nd.get());
+    sim.set_node(p, std::move(nd));
+  }
+  sim.start();
+  sim.run_until(0);
+
+  std::vector<double> commit_times;
+  std::vector<process_id> members(submitters.begin(), submitters.end());
+  for (int i = 0; i < commands; ++i) {
+    const process_id at = members[i % members.size()];
+    bool done = false;
+    const sim_time begin = sim.now();
+    sim.post(at, [&, at, i] {
+      replicas[at]->submit(i + 1, [&](std::size_t) { done = true; });
+    });
+    if (!sim.run_until_condition([&] { return done; },
+                                 begin + 1800L * 1000 * 1000))
+      return out;
+    commit_times.push_back(static_cast<double>(sim.now() - begin));
+  }
+  out.completed = true;
+  out.commit_us = summarize(std::move(commit_times));
+  // Let passive learning drain so the prefix reflects all decisions.
+  sim.run_until_condition(
+      [&] {
+        return replicas[members.front()]->committed_prefix() >=
+               static_cast<std::size_t>(commands);
+      },
+      sim.now() + 60L * 1000 * 1000);
+  out.prefix_a = replicas[members.front()]->committed_prefix();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "bench_smr — replicated log over GQS consensus\n";
+  const auto fig = make_figure1();
+
+  print_heading(
+      "8 sequential commands, submitters rotating over U_f members "
+      "(commit latency = submit → slot decided at submitter)");
+  text_table t({"scenario", "completed", "commit latency mean/p50/p95",
+                "committed prefix"});
+  {
+    const auto r = run(fig.gqs, nullptr, process_set{0, 1}, 8, 1);
+    t.add_row({"healthy network", r.completed ? "8/8" : "stalled",
+               fmt_latency_summary(r.commit_us), std::to_string(r.prefix_a)});
+  }
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+    const auto r = run(fig.gqs, &fig.gqs.fps[pattern], u_f, 8, 2 + pattern);
+    t.add_row({"pattern f" + std::to_string(pattern + 1),
+               r.completed ? "8/8" : "stalled",
+               fmt_latency_summary(r.commit_us), std::to_string(r.prefix_a)});
+  }
+  t.print();
+  std::cout
+      << "\nShape check: every command commits and the submitters'\n"
+         "prefixes reach all 8 commands. Commit latency grows for later\n"
+         "slots (high p95): each slot's synchronizer has been lengthening\n"
+         "its views since t = 0, so a command submitted late waits for a\n"
+         "long U_f-led view — a known artifact of composing one-shot\n"
+         "instances with growing timeouts (production systems reset view\n"
+         "timers on activity instead).\n";
+  return 0;
+}

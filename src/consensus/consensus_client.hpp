@@ -1,0 +1,56 @@
+// consensus_client.hpp — drives propose() invocations and collects
+// consensus outcomes for check_consensus.
+#pragma once
+
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "lincheck/object_checkers.hpp"
+#include "sim/simulation.hpp"
+
+namespace gqs {
+
+class consensus_client {
+ public:
+  consensus_client(simulation& sim, std::vector<consensus_node*> nodes)
+      : sim_(&sim), nodes_(std::move(nodes)) {
+    outcomes_.resize(nodes_.size());
+    for (process_id p = 0; p < nodes_.size(); ++p) outcomes_[p].proc = p;
+    decide_times_.resize(nodes_.size());
+  }
+
+  /// Schedules propose(x) at p at the current instant.
+  void invoke_propose(process_id p, std::int64_t x) {
+    outcomes_[p].proposed = x;
+    sim_->post(p, [this, p, x] {
+      nodes_[p]->propose(x, [this, p](std::int64_t decision) {
+        outcomes_[p].decided = decision;
+        decide_times_[p] = sim_->now();
+      });
+    });
+  }
+
+  bool decided(process_id p) const {
+    return outcomes_.at(p).decided.has_value();
+  }
+
+  bool all_decided(process_set among) const {
+    for (process_id p : among)
+      if (!decided(p)) return false;
+    return true;
+  }
+
+  sim_time decide_time(process_id p) const { return decide_times_.at(p); }
+
+  const std::vector<consensus_outcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+
+ private:
+  simulation* sim_;
+  std::vector<consensus_node*> nodes_;
+  std::vector<consensus_outcome> outcomes_;
+  std::vector<sim_time> decide_times_;
+};
+
+}  // namespace gqs

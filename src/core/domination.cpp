@@ -1,0 +1,47 @@
+#include "core/domination.hpp"
+
+#include <stdexcept>
+
+namespace gqs {
+
+bool dominates(const failure_pattern& stronger,
+               const failure_pattern& weaker) {
+  if (stronger.system_size() != weaker.system_size())
+    throw std::invalid_argument("dominates: system size mismatch");
+  if (!weaker.crashable().is_subset_of(stronger.crashable())) return false;
+  // Every channel that may fail under `weaker` must be allowed to fail
+  // under `stronger` — either listed in its C or incident to one of its
+  // crashable processes (faulty by default).
+  const process_id n = weaker.system_size();
+  for (process_id u = 0; u < n; ++u)
+    for (process_id v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const bool weaker_faulty = weaker.channel_may_fail(u, v) ||
+                                 weaker.crashable().contains(u) ||
+                                 weaker.crashable().contains(v);
+      if (!weaker_faulty) continue;
+      const bool stronger_faulty = stronger.channel_may_fail(u, v) ||
+                                   stronger.crashable().contains(u) ||
+                                   stronger.crashable().contains(v);
+      if (!stronger_faulty) return false;
+    }
+  return true;
+}
+
+fail_prone_system normalize(const fail_prone_system& fps) {
+  fail_prone_system out(fps.system_size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    bool redundant = false;
+    for (std::size_t j = 0; j < fps.size() && !redundant; ++j) {
+      if (i == j) continue;
+      if (!dominates(fps[j], fps[i])) continue;
+      // fps[j] dominates fps[i]. Drop fps[i] unless they dominate each
+      // other (equivalent patterns), in which case keep only the first.
+      redundant = !dominates(fps[i], fps[j]) || j < i;
+    }
+    if (!redundant) out.add(fps[i]);
+  }
+  return out;
+}
+
+}  // namespace gqs

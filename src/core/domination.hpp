@@ -1,0 +1,28 @@
+// domination.hpp — structural order on failure patterns.
+//
+// Pattern g dominates f when everything that can fail under f can also
+// fail under g (P_f ⊆ P_g and, on the surviving processes, C_f ⊆ C_g plus
+// whatever became faulty-by-default through the extra crashes). Dominated
+// patterns are redundant for every property this library checks: a quorum
+// pair validating Availability for g also validates it for f, U_f ⊇ U_g,
+// and a GQS for {g} is a GQS for {f, g}. Normalizing a fail-prone system
+// to its maximal patterns therefore preserves GQS existence — this is why
+// the threshold factories only emit the |Q| = k patterns of Example 4.
+#pragma once
+
+#include "core/failure_pattern.hpp"
+
+namespace gqs {
+
+/// True iff `stronger` allows every failure `weaker` allows: every process
+/// crashable under `weaker` is crashable under `stronger`, and every
+/// channel faulty under `weaker` (explicitly or by crash-incidence) is
+/// faulty under `stronger`.
+bool dominates(const failure_pattern& stronger, const failure_pattern& weaker);
+
+/// Removes every pattern dominated by another pattern of the system (and
+/// exact duplicates). The result admits a GQS iff the input does, with the
+/// same per-pattern guarantees on the survivors.
+fail_prone_system normalize(const fail_prone_system& fps);
+
+}  // namespace gqs

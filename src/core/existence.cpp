@@ -1,0 +1,148 @@
+#include "core/existence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gqs {
+
+std::vector<process_set> write_candidates(const failure_pattern& f) {
+  return f.residual().sccs();
+}
+
+namespace {
+
+struct pattern_options {
+  // For each SCC S of G \ f: the component itself and reach_to(S).
+  std::vector<process_set> components;
+  std::vector<process_set> reach_to;
+};
+
+std::vector<pattern_options> collect_options(const fail_prone_system& fps) {
+  std::vector<pattern_options> all;
+  all.reserve(fps.size());
+  for (const failure_pattern& f : fps) {
+    const digraph residual = f.residual();
+    pattern_options opts;
+    opts.components = residual.sccs();
+    // Prefer larger components first: they intersect more easily, so the
+    // backtracking search finds witnesses fast.
+    std::sort(opts.components.begin(), opts.components.end(),
+              [](process_set a, process_set b) { return a.size() > b.size(); });
+    for (const process_set& s : opts.components)
+      opts.reach_to.push_back(residual.reach_to_all(s));
+    all.push_back(std::move(opts));
+  }
+  return all;
+}
+
+bool compatible(const pattern_options& a, std::size_t ia,
+                const pattern_options& b, std::size_t ib) {
+  // Consistency both ways: R_a ∩ W_b ≠ ∅ and R_b ∩ W_a ≠ ∅.
+  return a.reach_to[ia].intersects(b.components[ib]) &&
+         b.reach_to[ib].intersects(a.components[ia]);
+}
+
+bool search(const std::vector<pattern_options>& options, std::size_t depth,
+            std::vector<std::size_t>& choice) {
+  if (depth == options.size()) return true;
+  const pattern_options& current = options[depth];
+  for (std::size_t i = 0; i < current.components.size(); ++i) {
+    bool ok = current.reach_to[i].intersects(current.components[i]);
+    for (std::size_t d = 0; ok && d < depth; ++d)
+      ok = compatible(options[d], choice[d], current, i);
+    if (!ok) continue;
+    choice[depth] = i;
+    if (search(options, depth + 1, choice)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<gqs_witness> find_gqs(const fail_prone_system& fps) {
+  if (fps.empty())
+    throw std::invalid_argument("find_gqs: empty fail-prone system");
+  const auto options = collect_options(fps);
+  std::vector<std::size_t> choice(options.size(), 0);
+  if (!search(options, 0, choice)) return std::nullopt;
+
+  quorum_family reads, writes;
+  std::vector<process_set> chosen_w, chosen_r;
+  for (std::size_t k = 0; k < options.size(); ++k) {
+    const process_set w = options[k].components[choice[k]];
+    const process_set r = options[k].reach_to[choice[k]];
+    writes.push_back(w);
+    reads.push_back(r);
+    chosen_w.push_back(w);
+    chosen_r.push_back(r);
+  }
+  generalized_quorum_system system(fps, reads, writes);
+
+  termination_mapping tau;
+  for (std::size_t k = 0; k < fps.size(); ++k)
+    tau.push_back(compute_u_f(system, fps[k]));
+
+  return gqs_witness{std::move(system), std::move(chosen_w),
+                     std::move(chosen_r), std::move(tau)};
+}
+
+bool gqs_exists_exhaustive(const fail_prone_system& fps) {
+  if (fps.empty())
+    throw std::invalid_argument("gqs_exists_exhaustive: empty system");
+  const auto options = collect_options(fps);
+  std::vector<std::size_t> choice(options.size(), 0);
+  // Odometer enumeration over all SCC combinations.
+  while (true) {
+    bool ok = true;
+    for (std::size_t a = 0; ok && a < options.size(); ++a) {
+      ok = options[a].reach_to[choice[a]].intersects(
+          options[a].components[choice[a]]);
+      for (std::size_t b = 0; ok && b < a; ++b)
+        ok = compatible(options[a], choice[a], options[b], choice[b]);
+    }
+    if (ok) return true;
+    // Advance odometer.
+    std::size_t pos = 0;
+    while (pos < choice.size()) {
+      if (++choice[pos] < options[pos].components.size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) return false;
+  }
+}
+
+std::optional<generalized_quorum_system> canonical_construction(
+    const fail_prone_system& fps, const termination_mapping& tau,
+    std::string* why) {
+  auto fail = [&](std::string reason) {
+    if (why) *why = std::move(reason);
+    return std::nullopt;
+  };
+  if (tau.size() != fps.size())
+    return fail("termination mapping size differs from |F|");
+
+  quorum_family reads, writes;
+  for (std::size_t k = 0; k < fps.size(); ++k) {
+    const failure_pattern& f = fps[k];
+    const process_set t = tau[k];
+    if (t.empty())
+      return fail("tau(f) empty for pattern #" + std::to_string(k));
+    if (!t.is_subset_of(f.correct()))
+      return fail("tau(f) contains a faulty process for pattern #" +
+                  std::to_string(k));
+    const digraph residual = f.residual();
+    if (!residual.strongly_connects(t))
+      return fail(
+          "tau(f) is not strongly connected in G \\ f for pattern #" +
+          std::to_string(k) +
+          " (Lemma 2: no obstruction-free implementation can exist)");
+    const process_set w = residual.scc_of(t.first());
+    const process_set r = residual.reach_to_all(w);
+    writes.push_back(w);
+    reads.push_back(r);
+  }
+  return generalized_quorum_system(fps, std::move(reads), std::move(writes));
+}
+
+}  // namespace gqs

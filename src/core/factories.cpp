@@ -1,0 +1,117 @@
+#include "core/factories.hpp"
+
+#include <stdexcept>
+
+namespace gqs {
+
+namespace {
+
+/// Enumerates all subsets of {0..n-1} with exactly k elements.
+std::vector<process_set> subsets_of_size(process_id n, int k) {
+  std::vector<process_set> result;
+  if (k < 0 || k > static_cast<int>(n)) return result;
+  // Gosper's hack over n-bit masks.
+  if (k == 0) {
+    result.emplace_back();
+    return result;
+  }
+  std::uint64_t v = (std::uint64_t{1} << k) - 1;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  while (v < limit) {
+    result.emplace_back(v);
+    const std::uint64_t t = v | (v - 1);
+    v = (t + 1) | (((~t & (t + 1)) - 1) >> (std::countr_zero(v) + 1));
+  }
+  return result;
+}
+
+}  // namespace
+
+fail_prone_system threshold_fail_prone_system(process_id n, int k) {
+  if (n == 0) throw std::invalid_argument("threshold system: n == 0");
+  if (k < 0 || k >= static_cast<int>(n))
+    throw std::invalid_argument("threshold system: need 0 <= k < n");
+  if (n > 20)
+    throw std::invalid_argument(
+        "threshold system: n too large to enumerate patterns");
+  fail_prone_system fps(n);
+  for (const process_set& q : subsets_of_size(n, k))
+    fps.add(failure_pattern(n, q, {}));
+  return fps;
+}
+
+generalized_quorum_system threshold_quorum_system(process_id n, int k) {
+  fail_prone_system fps = threshold_fail_prone_system(n, k);
+  quorum_family reads = subsets_of_size(n, static_cast<int>(n) - k);
+  quorum_family writes = subsets_of_size(n, k + 1);
+  return generalized_quorum_system(std::move(fps), std::move(reads),
+                                   std::move(writes));
+}
+
+std::vector<std::string> figure1_names() { return {"a", "b", "c", "d"}; }
+
+namespace {
+
+constexpr process_id kA = 0, kB = 1, kC = 2, kD = 3;
+
+/// Builds the pattern where `crashed` may crash and exactly the channels in
+/// `reliable` stay correct among the correct processes; every other channel
+/// between correct processes may disconnect.
+failure_pattern pattern_with_reliable(process_set crashed,
+                                      std::vector<edge> reliable) {
+  const process_id n = 4;
+  const process_set correct = crashed.complement_in(n);
+  std::vector<edge> faulty;
+  for (process_id u : correct)
+    for (process_id v : correct) {
+      if (u == v) continue;
+      bool is_reliable = false;
+      for (const edge& e : reliable)
+        is_reliable |= (e.from == u && e.to == v);
+      if (!is_reliable) faulty.push_back({u, v});
+    }
+  return failure_pattern(n, crashed, faulty);
+}
+
+}  // namespace
+
+figure1_system make_figure1() {
+  fail_prone_system fps(4);
+  // f1: d may crash; channels (c,a), (a,b), (b,a) correct.
+  fps.add(pattern_with_reliable({kD}, {{kC, kA}, {kA, kB}, {kB, kA}}));
+  // f2 = rotation of f1 by a→b→c→d→a: a may crash; (d,b), (b,c), (c,b).
+  fps.add(pattern_with_reliable({kA}, {{kD, kB}, {kB, kC}, {kC, kB}}));
+  // f3: b may crash; (a,c), (c,d), (d,c).
+  fps.add(pattern_with_reliable({kB}, {{kA, kC}, {kC, kD}, {kD, kC}}));
+  // f4: c may crash; (b,d), (d,a), (a,d).
+  fps.add(pattern_with_reliable({kC}, {{kB, kD}, {kD, kA}, {kA, kD}}));
+
+  quorum_family reads = {
+      process_set{kA, kC},  // R1
+      process_set{kB, kD},  // R2
+      process_set{kC, kA},  // R3
+      process_set{kD, kB},  // R4
+  };
+  quorum_family writes = {
+      process_set{kA, kB},  // W1
+      process_set{kB, kC},  // W2
+      process_set{kC, kD},  // W3
+      process_set{kD, kA},  // W4
+  };
+  return figure1_system{
+      generalized_quorum_system(std::move(fps), std::move(reads),
+                                std::move(writes)),
+      figure1_names()};
+}
+
+fail_prone_system make_example9_variant() {
+  fail_prone_system base = make_figure1().gqs.fps;
+  fail_prone_system fps(4);
+  // f1′: like f1 but channel (a, b) also fails — only (c,a) and (b,a)
+  // remain reliable.
+  fps.add(pattern_with_reliable({kD}, {{kC, kA}, {kB, kA}}));
+  for (std::size_t i = 1; i < base.size(); ++i) fps.add(base[i]);
+  return fps;
+}
+
+}  // namespace gqs

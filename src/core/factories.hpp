@@ -1,0 +1,40 @@
+// factories.hpp — canonical systems from the paper's examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/quorum_system.hpp"
+
+namespace gqs {
+
+/// Example 4: the standard threshold model F_M restricted to ≤ k crashes
+/// and no channel failures between correct processes:
+/// F = { (Q, ∅) : Q ⊆ P, |Q| ≤ k }. Only the maximal patterns (|Q| = k)
+/// are generated — subsets of a failure pattern are dominated by it for
+/// every property this library checks.
+fail_prone_system threshold_fail_prone_system(process_id n, int k);
+
+/// Example 6: the classical read/write threshold quorum system — read
+/// quorums of size ≥ n−k, write quorums of size ≥ k+1 (minimal quorums
+/// only).
+generalized_quorum_system threshold_quorum_system(process_id n, int k);
+
+/// The running example of the paper (Figure 1): 4 processes a, b, c, d
+/// (ids 0..3), fail-prone system F = {f1..f4} and the generalized quorum
+/// system (F, R, W) with R_i, W_i as drawn.
+struct figure1_system {
+  generalized_quorum_system gqs;
+  std::vector<std::string> names;  // {"a","b","c","d"}
+};
+figure1_system make_figure1();
+
+/// Example 9: F′ = Figure 1's F with f1 replaced by f1′ that additionally
+/// fails the channel (a, b). The paper shows F′ admits no generalized
+/// quorum system.
+fail_prone_system make_example9_variant();
+
+/// Names used throughout for the 4-process examples.
+std::vector<std::string> figure1_names();
+
+}  // namespace gqs

@@ -1,0 +1,83 @@
+#include "core/failure_pattern.hpp"
+
+#include <stdexcept>
+
+namespace gqs {
+
+failure_pattern::failure_pattern(process_id n)
+    : n_(n), faulty_channels_(n) {
+  if (n == 0) throw std::invalid_argument("failure_pattern: empty system");
+}
+
+failure_pattern::failure_pattern(process_id n, process_set crashable,
+                                 const std::vector<edge>& faulty_channels)
+    : n_(n), crashable_(crashable), faulty_channels_(n) {
+  if (n == 0) throw std::invalid_argument("failure_pattern: empty system");
+  if (!crashable.is_subset_of(process_set::full(n)))
+    throw std::invalid_argument(
+        "failure_pattern: crashable processes outside system");
+  for (const edge& e : faulty_channels) {
+    if (e.from >= n || e.to >= n)
+      throw std::invalid_argument("failure_pattern: channel outside system");
+    if (e.from == e.to)
+      throw std::invalid_argument("failure_pattern: self-loop channel");
+    if (crashable.contains(e.from) || crashable.contains(e.to))
+      throw std::invalid_argument(
+          "failure_pattern: C may only contain channels between correct "
+          "processes (channels incident to faulty processes are implicitly "
+          "faulty)");
+    faulty_channels_.add_edge(e);
+  }
+}
+
+digraph failure_pattern::residual() const {
+  return residual_of(digraph::complete(n_));
+}
+
+digraph failure_pattern::residual_of(const digraph& network) const {
+  if (network.vertex_count() != n_)
+    throw std::invalid_argument("failure_pattern: network size mismatch");
+  digraph g = network;
+  g.remove_vertices(crashable_);
+  g.remove_edges_of(faulty_channels_);
+  return g;
+}
+
+std::string failure_pattern::to_string(
+    const std::vector<std::string>& names) const {
+  auto name = [&](process_id v) {
+    return v < names.size() ? names[v] : std::to_string(v);
+  };
+  std::string out = "(P={";
+  bool first = true;
+  for (process_id p : crashable_) {
+    if (!first) out += ", ";
+    out += name(p);
+    first = false;
+  }
+  out += "}, C={";
+  first = true;
+  for (const edge& e : faulty_channels_.edges()) {
+    if (!first) out += ", ";
+    out += "(" + name(e.from) + "," + name(e.to) + ")";
+    first = false;
+  }
+  out += "})";
+  return out;
+}
+
+fail_prone_system::fail_prone_system(process_id n,
+                                     std::vector<failure_pattern> patterns)
+    : n_(n), patterns_(std::move(patterns)) {
+  for (const failure_pattern& f : patterns_)
+    if (f.system_size() != n)
+      throw std::invalid_argument("fail_prone_system: size mismatch");
+}
+
+void fail_prone_system::add(failure_pattern f) {
+  if (f.system_size() != n_)
+    throw std::invalid_argument("fail_prone_system: size mismatch");
+  patterns_.push_back(std::move(f));
+}
+
+}  // namespace gqs

@@ -1,0 +1,31 @@
+// minimize.hpp — shrinking generalized quorum systems.
+//
+// The existence search (existence.hpp) deliberately returns *maximal*
+// quorums — whole SCCs and full reach-to sets — because maximality can
+// only help Consistency. For running protocols, smaller quorums are
+// better: every quorum member must be waited for, so each dropped member
+// removes messages and latency tail. This pass greedily removes members
+// from each quorum while the triple still satisfies Definition 2,
+// yielding (inclusion-)minimal quorums. The per-pattern termination sets
+// U_f never shrink below the original guarantee's SCC — minimization
+// affects cost, not the promised wait-freedom region (U_f is determined by
+// the residual graph's SCC containing the validating write quorums).
+#pragma once
+
+#include "core/quorum_system.hpp"
+
+namespace gqs {
+
+/// Greedily removes members from every read and write quorum while the
+/// system keeps satisfying Definition 2 (Consistency + Availability).
+/// Returns a system whose quorums are inclusion-minimal with respect to
+/// single-member removal. Precondition: the input passes
+/// check_generalized (throws std::invalid_argument otherwise).
+generalized_quorum_system minimize_quorums(
+    const generalized_quorum_system& gqs);
+
+/// Total member count across both families — the cost proxy the
+/// minimization reduces.
+int total_quorum_size(const generalized_quorum_system& gqs);
+
+}  // namespace gqs

@@ -1,0 +1,48 @@
+#include "core/random_systems.hpp"
+
+#include <stdexcept>
+
+namespace gqs {
+
+failure_pattern random_failure_pattern(const random_system_params& params,
+                                       std::mt19937_64& rng) {
+  if (params.n == 0 || params.n > process_set::max_processes)
+    throw std::invalid_argument("random_failure_pattern: bad n");
+  std::bernoulli_distribution crash(params.crash_probability);
+  std::bernoulli_distribution chan(params.channel_fail_probability);
+
+  process_set crashed;
+  for (process_id p = 0; p < params.n; ++p)
+    if (crash(rng)) crashed.insert(p);
+  if (params.keep_one_correct && crashed == process_set::full(params.n)) {
+    std::uniform_int_distribution<process_id> pick(0, params.n - 1);
+    crashed.erase(pick(rng));
+  }
+
+  const process_set correct = crashed.complement_in(params.n);
+  std::vector<edge> faulty;
+  for (process_id u : correct)
+    for (process_id v : correct)
+      if (u != v && chan(rng)) faulty.push_back({u, v});
+  return failure_pattern(params.n, crashed, faulty);
+}
+
+fail_prone_system random_fail_prone_system(const random_system_params& params,
+                                           std::mt19937_64& rng) {
+  fail_prone_system fps(params.n);
+  for (int i = 0; i < params.patterns; ++i)
+    fps.add(random_failure_pattern(params, rng));
+  return fps;
+}
+
+std::optional<gqs_witness> random_gqs(const random_system_params& params,
+                                      std::mt19937_64& rng,
+                                      int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    fail_prone_system fps = random_fail_prone_system(params, rng);
+    if (auto witness = find_gqs(fps)) return witness;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gqs

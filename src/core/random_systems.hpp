@@ -1,0 +1,38 @@
+// random_systems.hpp — seeded random generators for fail-prone systems and
+// generalized quorum systems; used by property tests and scaling benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+
+#include "core/existence.hpp"
+#include "core/quorum_system.hpp"
+
+namespace gqs {
+
+/// Parameters for random fail-prone-system generation.
+struct random_system_params {
+  process_id n = 5;             ///< system size
+  int patterns = 4;             ///< |F|
+  double crash_probability = 0.2;   ///< each process crashes independently
+  double channel_fail_probability = 0.3;  ///< each correct-correct channel
+  bool keep_one_correct = true;  ///< force at least one correct process
+};
+
+/// Draws a random failure pattern.
+failure_pattern random_failure_pattern(const random_system_params& params,
+                                       std::mt19937_64& rng);
+
+/// Draws a random fail-prone system with `params.patterns` patterns.
+fail_prone_system random_fail_prone_system(const random_system_params& params,
+                                           std::mt19937_64& rng);
+
+/// Draws random fail-prone systems until one admits a GQS (up to
+/// `max_attempts`); returns the witness. Useful for tests that need a
+/// nontrivial GQS with channel failures.
+std::optional<gqs_witness> random_gqs(const random_system_params& params,
+                                      std::mt19937_64& rng,
+                                      int max_attempts = 100);
+
+}  // namespace gqs

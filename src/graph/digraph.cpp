@@ -1,0 +1,244 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gqs {
+
+digraph::digraph(process_id n)
+    : n_(n), present_(process_set::full(n)), out_(n, 0) {}
+
+digraph digraph::complete(process_id n) {
+  digraph g(n);
+  const std::uint64_t all = process_set::full(n).mask();
+  for (process_id v = 0; v < n; ++v)
+    g.out_[v] = all & ~(std::uint64_t{1} << v);
+  return g;
+}
+
+void digraph::check_vertex(process_id v) const {
+  if (v >= n_) throw std::out_of_range("digraph: vertex out of range");
+}
+
+int digraph::edge_count() const {
+  int total = 0;
+  for (process_id v : present_)
+    total += (process_set(out_[v]) & present_).size();
+  return total;
+}
+
+void digraph::add_edge(process_id from, process_id to) {
+  check_vertex(from);
+  check_vertex(to);
+  if (from == to) throw std::invalid_argument("digraph: self-loop");
+  out_[from] |= std::uint64_t{1} << to;
+}
+
+void digraph::remove_edge(process_id from, process_id to) {
+  check_vertex(from);
+  check_vertex(to);
+  out_[from] &= ~(std::uint64_t{1} << to);
+}
+
+bool digraph::has_edge(process_id from, process_id to) const {
+  check_vertex(from);
+  check_vertex(to);
+  if (!present_.contains(from) || !present_.contains(to)) return false;
+  return (out_[from] >> to) & 1u;
+}
+
+process_set digraph::out_neighbors(process_id v) const {
+  check_vertex(v);
+  if (!present_.contains(v)) return {};
+  return process_set(out_[v]) & present_;
+}
+
+process_set digraph::in_neighbors(process_id v) const {
+  check_vertex(v);
+  process_set in;
+  if (!present_.contains(v)) return in;
+  for (process_id u : present_)
+    if ((out_[u] >> v) & 1u) in.insert(u);
+  return in;
+}
+
+std::vector<edge> digraph::edges() const {
+  std::vector<edge> result;
+  for (process_id u : present_)
+    for (process_id v : out_neighbors(u)) result.push_back({u, v});
+  return result;
+}
+
+void digraph::remove_vertices(process_set victims) {
+  present_ -= victims;
+}
+
+void digraph::remove_edges_of(const digraph& other) {
+  if (other.vertex_count() != n_)
+    throw std::invalid_argument("digraph: edge-set size mismatch");
+  for (process_id v = 0; v < n_; ++v) out_[v] &= ~other.out_[v];
+}
+
+process_set digraph::reachable_from(process_id v) const {
+  check_vertex(v);
+  if (!present_.contains(v)) return {};
+  std::uint64_t visited = std::uint64_t{1} << v;
+  std::uint64_t frontier = visited;
+  const std::uint64_t live = present_.mask();
+  while (frontier != 0) {
+    std::uint64_t next = 0;
+    for (process_set f(frontier); auto u : f) next |= out_[u];
+    next &= live & ~visited;
+    visited |= next;
+    frontier = next;
+  }
+  return process_set(visited);
+}
+
+process_set digraph::reaching(process_id v) const {
+  check_vertex(v);
+  process_set result;
+  if (!present_.contains(v)) return result;
+  for (process_id u : present_)
+    if (reachable_from(u).contains(v)) result.insert(u);
+  return result;
+}
+
+bool digraph::reaches_all(process_id source, process_set targets) const {
+  return targets.is_subset_of(reachable_from(source));
+}
+
+process_set digraph::reach_to_all(process_set targets) const {
+  process_set result;
+  for (process_id u : present_)
+    if (reaches_all(u, targets)) result.insert(u);
+  return result;
+}
+
+namespace {
+
+// Iterative Tarjan over bitmask adjacency.
+struct tarjan_state {
+  const std::vector<std::uint64_t>& out;
+  std::uint64_t live;
+  std::vector<int> index, lowlink;
+  std::vector<bool> on_stack;
+  std::vector<process_id> stack;
+  std::vector<process_set> components;
+  int next_index = 0;
+
+  explicit tarjan_state(const std::vector<std::uint64_t>& adjacency,
+                        std::uint64_t live_mask, std::size_t n)
+      : out(adjacency),
+        live(live_mask),
+        index(n, -1),
+        lowlink(n, 0),
+        on_stack(n, false) {}
+
+  void run(process_id root) {
+    // Explicit DFS stack of (vertex, iterator-position mask of remaining
+    // successors) to avoid recursion depth issues.
+    struct frame {
+      process_id v;
+      std::uint64_t remaining;
+    };
+    std::vector<frame> dfs;
+    auto open = [&](process_id v) {
+      index[v] = lowlink[v] = next_index++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      dfs.push_back({v, out[v] & live});
+    };
+    open(root);
+    while (!dfs.empty()) {
+      frame& top = dfs.back();
+      if (top.remaining != 0) {
+        const process_id w =
+            static_cast<process_id>(std::countr_zero(top.remaining));
+        top.remaining &= top.remaining - 1;
+        if (index[w] < 0) {
+          open(w);
+        } else if (on_stack[w]) {
+          lowlink[top.v] = std::min(lowlink[top.v], index[w]);
+        }
+      } else {
+        const process_id v = top.v;
+        dfs.pop_back();
+        if (!dfs.empty())
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          process_set component;
+          process_id w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.insert(w);
+          } while (w != v);
+          components.push_back(component);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<process_set> digraph::sccs() const {
+  tarjan_state t(out_, present_.mask(), n_);
+  for (process_id v : present_)
+    if (t.index[v] < 0) t.run(v);
+  return t.components;
+}
+
+process_set digraph::scc_of(process_id v) const {
+  check_vertex(v);
+  if (!present_.contains(v))
+    throw std::invalid_argument("digraph::scc_of: vertex not present");
+  // v's SCC = (vertices reachable from v) ∩ (vertices reaching v).
+  const process_set forward = reachable_from(v);
+  process_set component;
+  for (process_id u : forward)
+    if (reachable_from(u).contains(v)) component.insert(u);
+  return component;
+}
+
+bool digraph::strongly_connects(process_set q) const {
+  if (!q.is_subset_of(present_)) return false;
+  if (q.size() <= 1) return true;
+  return q.is_subset_of(scc_of(q.first()));
+}
+
+digraph digraph::transitive_closure() const {
+  digraph closure(n_);
+  closure.present_ = present_;
+  for (process_id v : present_) {
+    process_set reach = reachable_from(v);
+    reach.erase(v);
+    // Re-add v if it lies on a cycle (some successor reaches back).
+    for (process_id w : out_neighbors(v)) {
+      if (w == v) continue;
+      if (reachable_from(w).contains(v)) {
+        // v reaches itself via a non-empty path; but self-loops are
+        // disallowed in our channel model, so we do not record (v, v).
+        break;
+      }
+    }
+    closure.out_[v] = reach.mask();
+  }
+  return closure;
+}
+
+std::string digraph::to_dot(const std::vector<std::string>& names) const {
+  auto name = [&](process_id v) {
+    return v < names.size() ? names[v] : std::to_string(v);
+  };
+  std::string dot = "digraph G {\n";
+  for (process_id v : present_) dot += "  " + name(v) + ";\n";
+  for (const edge& e : edges())
+    dot += "  " + name(e.from) + " -> " + name(e.to) + ";\n";
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace gqs

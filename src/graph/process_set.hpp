@@ -1,0 +1,195 @@
+// process_set.hpp — fixed-capacity set of process identifiers.
+//
+// The whole library works over systems of at most 64 processes (the paper's
+// examples use n = 4, and the GQS existence problem is exponential in the
+// number of failure patterns anyway), so a process set is a single machine
+// word. All set algebra is O(1).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+namespace gqs {
+
+/// Identifier of a process. Processes of an n-process system are 0..n-1.
+using process_id = std::uint32_t;
+
+/// A set of processes, represented as a 64-bit mask.
+///
+/// The set does not know the system size n; operations like complement are
+/// therefore expressed relative to an explicit universe
+/// (see process_set::full and complement_in).
+class process_set {
+ public:
+  /// Maximum number of processes representable.
+  static constexpr process_id max_processes = 64;
+
+  constexpr process_set() noexcept = default;
+
+  /// Constructs the set {p : bit p of mask is set}.
+  constexpr explicit process_set(std::uint64_t mask) noexcept : bits_(mask) {}
+
+  /// Constructs a set from an explicit list of members.
+  constexpr process_set(std::initializer_list<process_id> members) {
+    for (process_id p : members) insert(p);
+  }
+
+  /// The set {0, 1, ..., n-1}.
+  static constexpr process_set full(process_id n) {
+    check_id_bound(n);
+    return n == 64 ? process_set(~std::uint64_t{0})
+                   : process_set((std::uint64_t{1} << n) - 1);
+  }
+
+  /// The singleton {p}.
+  static constexpr process_set singleton(process_id p) {
+    check_id(p);
+    return process_set(std::uint64_t{1} << p);
+  }
+
+  constexpr std::uint64_t mask() const noexcept { return bits_; }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  constexpr int size() const noexcept { return std::popcount(bits_); }
+
+  constexpr bool contains(process_id p) const {
+    check_id(p);
+    return (bits_ >> p) & 1u;
+  }
+
+  constexpr void insert(process_id p) {
+    check_id(p);
+    bits_ |= std::uint64_t{1} << p;
+  }
+
+  constexpr void erase(process_id p) {
+    check_id(p);
+    bits_ &= ~(std::uint64_t{1} << p);
+  }
+
+  constexpr bool intersects(process_set other) const noexcept {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  constexpr bool is_subset_of(process_set other) const noexcept {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  constexpr bool is_superset_of(process_set other) const noexcept {
+    return other.is_subset_of(*this);
+  }
+
+  /// Union.
+  constexpr process_set operator|(process_set o) const noexcept {
+    return process_set(bits_ | o.bits_);
+  }
+  /// Intersection.
+  constexpr process_set operator&(process_set o) const noexcept {
+    return process_set(bits_ & o.bits_);
+  }
+  /// Difference.
+  constexpr process_set operator-(process_set o) const noexcept {
+    return process_set(bits_ & ~o.bits_);
+  }
+  constexpr process_set& operator|=(process_set o) noexcept {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  constexpr process_set& operator&=(process_set o) noexcept {
+    bits_ &= o.bits_;
+    return *this;
+  }
+  constexpr process_set& operator-=(process_set o) noexcept {
+    bits_ &= ~o.bits_;
+    return *this;
+  }
+
+  /// Complement relative to the universe {0..n-1}.
+  constexpr process_set complement_in(process_id n) const {
+    return full(n) - *this;
+  }
+
+  constexpr bool operator==(const process_set&) const noexcept = default;
+
+  /// Total order (by mask value); lets sets key std::map / sorting.
+  constexpr bool operator<(process_set o) const noexcept {
+    return bits_ < o.bits_;
+  }
+
+  /// The smallest member. Precondition: non-empty.
+  constexpr process_id first() const {
+    if (empty()) throw std::logic_error("process_set::first on empty set");
+    return static_cast<process_id>(std::countr_zero(bits_));
+  }
+
+  /// Forward iterator over members in increasing id order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = process_id;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const process_id*;
+    using reference = process_id;
+
+    constexpr iterator() noexcept = default;
+    constexpr explicit iterator(std::uint64_t rest) noexcept : rest_(rest) {}
+
+    constexpr process_id operator*() const noexcept {
+      return static_cast<process_id>(std::countr_zero(rest_));
+    }
+    constexpr iterator& operator++() noexcept {
+      rest_ &= rest_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    constexpr iterator operator++(int) noexcept {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    constexpr bool operator==(const iterator&) const noexcept = default;
+
+   private:
+    std::uint64_t rest_ = 0;
+  };
+
+  constexpr iterator begin() const noexcept { return iterator(bits_); }
+  constexpr iterator end() const noexcept { return iterator(0); }
+
+  /// Renders as e.g. "{0, 2, 3}". Processes a..z can be named by callers
+  /// via to_string(names).
+  std::string to_string() const {
+    std::string out = "{";
+    bool first_member = true;
+    for (process_id p : *this) {
+      if (!first_member) out += ", ";
+      out += std::to_string(p);
+      first_member = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static constexpr void check_id(process_id p) {
+    if (p >= max_processes)
+      throw std::out_of_range("process id exceeds capacity (64)");
+  }
+  static constexpr void check_id_bound(process_id n) {
+    if (n > max_processes)
+      throw std::out_of_range("system size exceeds capacity (64)");
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+/// Hash support so process_set can key unordered containers.
+struct process_set_hash {
+  std::size_t operator()(const process_set& s) const noexcept {
+    return std::hash<std::uint64_t>{}(s.mask());
+  }
+};
+
+}  // namespace gqs

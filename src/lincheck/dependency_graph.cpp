@@ -1,0 +1,114 @@
+#include "lincheck/dependency_graph.hpp"
+
+#include <map>
+#include <vector>
+
+namespace gqs {
+
+namespace {
+
+/// DFS cycle detection over an adjacency-list graph.
+bool has_cycle(const std::vector<std::vector<int>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  enum class mark { white, gray, black };
+  std::vector<mark> color(n, mark::white);
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int root = 0; root < n; ++root) {
+    if (color[root] != mark::white) continue;
+    color[root] = mark::gray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adj[v].size()) {
+        const int w = adj[v][next++];
+        if (color[w] == mark::gray) return true;
+        if (color[w] == mark::white) {
+          color[w] = mark::gray;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = mark::black;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+lincheck_result check_dependency_graph(const register_history& history,
+                                       reg_value initial) {
+  // Completed operations only.
+  std::vector<const register_op*> ops;
+  for (const register_op& op : history)
+    if (op.complete()) ops.push_back(&op);
+  const int n = static_cast<int>(ops.size());
+
+  const reg_version initial_version{};  // (0, 0)
+
+  // ---- Proposition 3 sanity checks ----
+  std::map<reg_version, int> writes_by_version;
+  for (int i = 0; i < n; ++i) {
+    const register_op& op = *ops[i];
+    if (op.kind != reg_op_kind::write) continue;
+    // (2): every write has τ(w) > (0,0).
+    if (!(op.version > initial_version))
+      return lincheck_result::bad("write with initial version: " +
+                                  op.to_string());
+    // (1): distinct writes have distinct versions.
+    if (!writes_by_version.emplace(op.version, i).second)
+      return lincheck_result::bad("two writes share version " +
+                                  op.version.to_string());
+  }
+  for (int i = 0; i < n; ++i) {
+    const register_op& op = *ops[i];
+    if (op.kind != reg_op_kind::read) continue;
+    if (op.version == initial_version) {
+      // Dependency-graph condition 1(iv): a read with no wr edge returns
+      // the initial value.
+      if (op.value != initial)
+        return lincheck_result::bad(
+            "read of initial version returned non-initial value: " +
+            op.to_string());
+      continue;
+    }
+    // (3): the read's version belongs to some write; (4): values match.
+    const auto it = writes_by_version.find(op.version);
+    if (it == writes_by_version.end())
+      return lincheck_result::bad("read observes unknown version " +
+                                  op.version.to_string());
+    if (ops[it->second]->value != op.value)
+      return lincheck_result::bad(
+          "read value disagrees with the write of its version: " +
+          op.to_string());
+  }
+
+  // ---- build rt ∪ wr ∪ ww ∪ rw ----
+  std::vector<std::vector<int>> adj(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const register_op& a = *ops[i];
+      const register_op& b = *ops[j];
+      bool edge = a.precedes(b);  // rt
+      if (!edge && a.kind == reg_op_kind::write &&
+          b.kind == reg_op_kind::read)
+        edge = a.version == b.version;  // wr
+      if (!edge && a.kind == reg_op_kind::write &&
+          b.kind == reg_op_kind::write)
+        edge = a.version < b.version;  // ww
+      if (!edge && a.kind == reg_op_kind::read &&
+          b.kind == reg_op_kind::write)
+        edge = a.version < b.version;  // rw (covers the no-wr case, where
+                                       // τ(r) = (0,0) < every write version)
+      if (edge) adj[i].push_back(j);
+    }
+
+  if (has_cycle(adj))
+    return lincheck_result::bad(
+        "dependency graph rt ∪ wr ∪ ww ∪ rw contains a cycle");
+  return lincheck_result::good();
+}
+
+}  // namespace gqs

@@ -1,0 +1,153 @@
+#include "lincheck/object_checkers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gqs {
+
+// ---------- lattice agreement ----------
+
+lincheck_result check_lattice_agreement(
+    const std::vector<lattice_outcome>& outcomes) {
+  std::uint64_t all_inputs = 0;
+  for (const lattice_outcome& o : outcomes) all_inputs |= o.proposed;
+
+  for (const lattice_outcome& o : outcomes) {
+    if (!o.output) continue;
+    // Downward validity: x_i ≤ y_i.
+    if ((o.proposed & ~*o.output) != 0)
+      return lincheck_result::bad("Downward validity violated at process " +
+                                  std::to_string(o.proc));
+    // Upward validity: y_i ≤ ⨆ X.
+    if ((*o.output & ~all_inputs) != 0)
+      return lincheck_result::bad("Upward validity violated at process " +
+                                  std::to_string(o.proc));
+  }
+  // Comparability: outputs pairwise ≤-comparable.
+  for (std::size_t i = 0; i < outcomes.size(); ++i)
+    for (std::size_t j = i + 1; j < outcomes.size(); ++j) {
+      if (!outcomes[i].output || !outcomes[j].output) continue;
+      const std::uint64_t a = *outcomes[i].output;
+      const std::uint64_t b = *outcomes[j].output;
+      const bool a_le_b = (a & ~b) == 0;
+      const bool b_le_a = (b & ~a) == 0;
+      if (!a_le_b && !b_le_a)
+        return lincheck_result::bad(
+            "Comparability violated between processes " +
+            std::to_string(outcomes[i].proc) + " and " +
+            std::to_string(outcomes[j].proc));
+    }
+  return lincheck_result::good();
+}
+
+// ---------- consensus ----------
+
+lincheck_result check_consensus(const std::vector<consensus_outcome>& outcomes,
+                                process_set must_decide) {
+  std::optional<std::int64_t> the_decision;
+  for (const consensus_outcome& o : outcomes) {
+    if (!o.decided) continue;
+    if (the_decision && *the_decision != *o.decided)
+      return lincheck_result::bad(
+          "Agreement violated: decisions " + std::to_string(*the_decision) +
+          " and " + std::to_string(*o.decided));
+    the_decision = o.decided;
+  }
+  if (the_decision) {
+    bool proposed_by_someone = false;
+    for (const consensus_outcome& o : outcomes)
+      proposed_by_someone |= o.proposed && *o.proposed == *the_decision;
+    if (!proposed_by_someone)
+      return lincheck_result::bad("Validity violated: decision " +
+                                  std::to_string(*the_decision) +
+                                  " was never proposed");
+  }
+  for (const consensus_outcome& o : outcomes)
+    if (must_decide.contains(o.proc) && !o.decided)
+      return lincheck_result::bad(
+          "Termination violated: process " + std::to_string(o.proc) +
+          " is in tau(f) but did not decide");
+  return lincheck_result::good();
+}
+
+// ---------- snapshots ----------
+
+namespace {
+
+struct snapshot_search {
+  const std::vector<snapshot_op>& h;
+  process_id segments;
+  std::uint64_t complete_mask = 0;
+  std::unordered_set<std::uint64_t> failed;
+
+  snapshot_search(const std::vector<snapshot_op>& history, process_id segs)
+      : h(history), segments(segs) {
+    for (std::size_t i = 0; i < h.size(); ++i)
+      if (h[i].complete()) complete_mask |= std::uint64_t{1} << i;
+  }
+
+  bool minimal(std::size_t i, std::uint64_t mask) const {
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      if (j == i || (mask >> j) & 1) continue;
+      if (h[j].precedes(h[i])) return false;
+    }
+    return true;
+  }
+
+  /// Segment contents implied by the set of applied updates: per writer,
+  /// the applied update with the latest invocation (same-writer updates
+  /// are sequential, so this is the linearization order among them).
+  std::vector<std::int64_t> segment_values(std::uint64_t mask) const {
+    std::vector<std::int64_t> seg(segments, 0);
+    std::vector<sim_time> best(segments, -1);
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (!((mask >> i) & 1) || h[i].is_scan) continue;
+      if (h[i].invoked_at >= best[h[i].proc]) {
+        best[h[i].proc] = h[i].invoked_at;
+        seg[h[i].proc] = h[i].written;
+      }
+    }
+    return seg;
+  }
+
+  bool solve(std::uint64_t mask) {
+    if ((mask & complete_mask) == complete_mask) return true;
+    if (!failed.insert(mask).second) return false;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if ((mask >> i) & 1) continue;
+      if (!minimal(i, mask)) continue;
+      const snapshot_op& op = h[i];
+      if (op.is_scan) {
+        if (!op.complete()) continue;  // pending scans can be dropped
+        if (op.observed == segment_values(mask) &&
+            solve(mask | (std::uint64_t{1} << i)))
+          return true;
+      } else {
+        if (solve(mask | (std::uint64_t{1} << i))) return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+lincheck_result check_snapshot_linearizable(
+    const std::vector<snapshot_op>& history, process_id segments) {
+  if (history.size() > 64)
+    throw std::invalid_argument("snapshot history longer than 64 operations");
+  for (const snapshot_op& op : history) {
+    if (op.proc >= segments)
+      return lincheck_result::bad("operation at unknown segment writer");
+    if (op.is_scan && op.complete() &&
+        op.observed.size() != segments)
+      return lincheck_result::bad("scan returned wrong number of segments");
+  }
+  snapshot_search s(history, segments);
+  if (s.solve(0)) return lincheck_result::good();
+  return lincheck_result::bad(
+      "no legal sequential witness for this snapshot history");
+}
+
+}  // namespace gqs

@@ -1,0 +1,74 @@
+// object_checkers.hpp — safety checkers for lattice agreement, consensus
+// and snapshot histories.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lincheck/register_history.hpp"
+
+namespace gqs {
+
+// ---------- lattice agreement ----------
+
+/// One process's view of a single-shot lattice agreement run. The
+/// semilattice is (2^{0..63}, ∪) as 64-bit masks.
+struct lattice_outcome {
+  process_id proc = 0;
+  std::uint64_t proposed = 0;
+  std::optional<std::uint64_t> output;  // nullopt = propose never returned
+};
+
+/// Checks Comparability, Downward validity and Upward validity over the
+/// outcomes of one run (paper §6).
+lincheck_result check_lattice_agreement(
+    const std::vector<lattice_outcome>& outcomes);
+
+// ---------- consensus ----------
+
+/// One process's view of a consensus run.
+struct consensus_outcome {
+  process_id proc = 0;
+  std::optional<std::int64_t> proposed;
+  std::optional<std::int64_t> decided;
+};
+
+/// Checks Agreement (all decisions equal) and Validity (every decision was
+/// proposed by someone). `must_decide` lists processes whose termination
+/// is required (τ(f)); a process in it with no decision is an error.
+lincheck_result check_consensus(const std::vector<consensus_outcome>& outcomes,
+                                process_set must_decide = {});
+
+// ---------- snapshots ----------
+
+/// One recorded snapshot operation: either an update (writer, value) or a
+/// scan (vector of observed segment values).
+struct snapshot_op {
+  bool is_scan = false;
+  process_id proc = 0;
+  std::int64_t written = 0;                  // updates
+  std::vector<std::int64_t> observed;        // scans
+  sim_time invoked_at = 0;
+  std::optional<sim_time> returned_at;
+  /// Causal event stamps (see register_op); zero = fall back to times.
+  std::uint64_t invoked_stamp = 0;
+  std::uint64_t returned_stamp = 0;
+
+  bool complete() const { return returned_at.has_value(); }
+  bool precedes(const snapshot_op& later) const {
+    if (!complete()) return false;
+    if (returned_stamp != 0 && later.invoked_stamp != 0)
+      return returned_stamp < later.invoked_stamp;
+    return *returned_at < later.invoked_at;
+  }
+};
+
+/// Linearizability of a SWMR snapshot history (initial segment values 0):
+/// exhaustive search like the register checker, with snapshot semantics —
+/// a scan returns, for every segment, the value of the latest preceding
+/// update by that segment's writer. At most 64 operations.
+lincheck_result check_snapshot_linearizable(
+    const std::vector<snapshot_op>& history, process_id segments);
+
+}  // namespace gqs

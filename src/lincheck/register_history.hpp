@@ -1,0 +1,63 @@
+// register_history.hpp — recorded invocation/response histories of
+// register operations, the input to the linearizability checkers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "register/register_state.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+
+enum class reg_op_kind { read, write };
+
+/// One operation in a history. `returned_at` empty means the operation was
+/// pending when the execution ended (allowed: channel failures may prevent
+/// termination outside U_f).
+struct register_op {
+  reg_op_kind kind = reg_op_kind::read;
+  process_id proc = 0;
+  reg_value value = 0;  ///< value written (write) or returned (read)
+  sim_time invoked_at = 0;
+  std::optional<sim_time> returned_at;
+  /// Causal event stamps (simulation::take_stamp). The virtual clock is
+  /// too coarse for precedence: a response and a causally later invocation
+  /// can share a timestamp. Zero means "not recorded" (hand-crafted
+  /// histories); precedence then falls back to timestamps.
+  std::uint64_t invoked_stamp = 0;
+  std::uint64_t returned_stamp = 0;
+  /// White-box tag: the version the operation installed (write) or
+  /// observed (read) — the τ(op) of Appendix B. Meaningful only for
+  /// completed operations.
+  reg_version version{};
+
+  bool complete() const noexcept { return returned_at.has_value(); }
+
+  /// Real-time order: this operation returned before `later` was invoked.
+  bool precedes(const register_op& later) const {
+    if (!complete()) return false;
+    if (returned_stamp != 0 && later.invoked_stamp != 0)
+      return returned_stamp < later.invoked_stamp;
+    return *returned_at < later.invoked_at;
+  }
+
+  std::string to_string() const;
+};
+
+using register_history = std::vector<register_op>;
+
+/// Result of a history check.
+struct lincheck_result {
+  bool linearizable = true;
+  std::string reason;
+
+  explicit operator bool() const noexcept { return linearizable; }
+  static lincheck_result good() { return {}; }
+  static lincheck_result bad(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+}  // namespace gqs

@@ -1,0 +1,97 @@
+#include "lincheck/wing_gong.hpp"
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace gqs {
+
+std::string register_op::to_string() const {
+  std::string s = kind == reg_op_kind::write ? "write(" : "read→";
+  s += std::to_string(value);
+  if (kind == reg_op_kind::write) s += ")";
+  s += "@p" + std::to_string(proc);
+  s += " [" + std::to_string(invoked_at) + ",";
+  s += complete() ? std::to_string(*returned_at) : "pending";
+  s += "]";
+  return s;
+}
+
+namespace {
+
+struct search_state {
+  const register_history& h;
+  std::uint64_t complete_mask = 0;  // ops that must be linearized
+  // Map register values to small ids for compact memo keys.
+  std::map<reg_value, int> value_ids;
+  std::unordered_set<std::uint64_t> visited;  // (mask * #values + value_id)
+
+  explicit search_state(const register_history& history) : h(history) {
+    for (std::size_t i = 0; i < h.size(); ++i)
+      if (h[i].complete()) complete_mask |= std::uint64_t{1} << i;
+  }
+
+  int id_of(reg_value v) {
+    return value_ids.emplace(v, static_cast<int>(value_ids.size()))
+        .first->second;
+  }
+
+  std::uint64_t memo_key(std::uint64_t mask, int value_id) {
+    // Up to 64 ops → ≤ 65 distinct written values + initial; pack.
+    return mask * 131 + static_cast<std::uint64_t>(value_id);
+  }
+
+  /// op i may be linearized next given `mask` already linearized: no
+  /// unlinearized *completed* op returned before i was invoked.
+  bool minimal(std::size_t i, std::uint64_t mask) const {
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      if (j == i || (mask >> j) & 1) continue;
+      if (h[j].precedes(h[i])) return false;
+    }
+    return true;
+  }
+
+  bool solve(std::uint64_t mask, reg_value current) {
+    if ((mask & complete_mask) == complete_mask) return true;
+    const std::uint64_t key = memo_key(mask, id_of(current));
+    if (!visited.insert(key).second) return false;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if ((mask >> i) & 1) continue;
+      if (!minimal(i, mask)) continue;
+      const register_op& op = h[i];
+      if (op.kind == reg_op_kind::write) {
+        if (solve(mask | (std::uint64_t{1} << i), op.value)) return true;
+      } else {
+        // A read is legal only if it returns the current value. Pending
+        // reads have no constraint to satisfy and no effect; skipping them
+        // entirely (never linearizing) is always at least as permissive,
+        // so only completed reads need linearizing.
+        if (op.complete() && op.value == current) {
+          if (solve(mask | (std::uint64_t{1} << i), current)) return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+lincheck_result check_linearizable(const register_history& history,
+                                   reg_value initial) {
+  if (history.size() > 64)
+    throw std::invalid_argument(
+        "check_linearizable: history longer than 64 operations");
+  for (const register_op& op : history)
+    if (op.complete() && *op.returned_at < op.invoked_at)
+      return lincheck_result::bad("operation returns before invocation: " +
+                                  op.to_string());
+  search_state s(history);
+  if (s.solve(0, initial)) return lincheck_result::good();
+  return lincheck_result::bad(
+      "no legal sequential witness exists for this history");
+}
+
+}  // namespace gqs

@@ -1,0 +1,28 @@
+// wing_gong.hpp — black-box linearizability checking for register
+// histories (Wing & Gong's algorithm with memoization).
+//
+// The checker searches for a legal sequential witness: a total order of
+// the history's operations that respects real-time precedence and register
+// semantics (every read returns the most recently written value, or the
+// initial value). Pending operations (no response) may either take effect
+// at any point after their invocation or be dropped — the standard
+// completion rule for linearizability.
+//
+// The search is exponential in the worst case but memoized on
+// (set-of-linearized-ops, current-register-value); histories produced by
+// the test harnesses (≤ 64 operations) check instantly. This checker knows
+// nothing about the protocol — it cross-validates the white-box
+// dependency-graph checker of Appendix B.
+#pragma once
+
+#include "lincheck/register_history.hpp"
+
+namespace gqs {
+
+/// Checks linearizability of `history` against MWMR register semantics
+/// with the given initial value. Histories are limited to 64 operations
+/// (throws std::invalid_argument beyond that).
+lincheck_result check_linearizable(const register_history& history,
+                                   reg_value initial = 0);
+
+}  // namespace gqs

@@ -1,0 +1,47 @@
+// quorum_access.hpp — the quorum access function interface (paper §5).
+//
+// The paper encapsulates quorum communication behind two functions over an
+// opaque top-level state S:
+//
+//   quorum_get()  : returns the states of all members of some read quorum;
+//   quorum_set(u) : applies the update function u to the states of all
+//                   members of some write quorum.
+//
+// with three properties: Validity, Real-time ordering and Liveness
+// ((F, τ)-wait-freedom). Because the simulator is event-driven, both
+// functions are asynchronous here: they take completion callbacks instead
+// of blocking. Callbacks run in simulation-event context and may start the
+// next operation immediately (as the register protocol does).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/transport.hpp"
+
+namespace gqs {
+
+template <class S>
+class quorum_access : public component {
+ public:
+  /// An update function u : S → S (the paper's λ-notation); shipped to
+  /// write-quorum members inside SET_REQ messages.
+  using update_fn = std::function<S(const S&)>;
+
+  /// Receives the states of all members of the read quorum that answered.
+  using get_callback = std::function<void(std::vector<S>)>;
+  using set_callback = std::function<void()>;
+
+  /// Starts a quorum_get(); `done` fires when some read quorum's states
+  /// have been collected.
+  virtual void quorum_get(get_callback done) = 0;
+
+  /// Starts a quorum_set(u); `done` fires when the update is stable per
+  /// the protocol's completion rule.
+  virtual void quorum_set(update_fn u, set_callback done) = 0;
+
+  /// This process's current copy of the top-level state.
+  virtual const S& local_state() const = 0;
+};
+
+}  // namespace gqs

@@ -1,0 +1,45 @@
+// quorum_config.hpp — the quorum families a protocol instance runs with.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/quorum_system.hpp"
+
+namespace gqs {
+
+/// Read/write quorum families handed to every protocol node. The families
+/// come from a (generalized) quorum system; protocols never look at the
+/// fail-prone system itself — only the environment (fault plan) does.
+struct quorum_config {
+  quorum_family reads;
+  quorum_family writes;
+
+  void validate() const {
+    if (reads.empty() || writes.empty())
+      throw std::invalid_argument("quorum_config: empty quorum family");
+    for (const process_set& r : reads)
+      if (r.empty()) throw std::invalid_argument("quorum_config: empty read quorum");
+    for (const process_set& w : writes)
+      if (w.empty())
+        throw std::invalid_argument("quorum_config: empty write quorum");
+  }
+
+  static quorum_config of(const generalized_quorum_system& gqs) {
+    quorum_config qc{gqs.reads, gqs.writes};
+    qc.validate();
+    return qc;
+  }
+};
+
+/// Returns the first quorum in `family` fully contained in `responders`,
+/// if any — the "wait until received ... from some Q" guard of Figures 2
+/// and 3.
+inline std::optional<process_set> covered_quorum(const quorum_family& family,
+                                                 process_set responders) {
+  for (const process_set& q : family)
+    if (q.is_subset_of(responders)) return q;
+  return std::nullopt;
+}
+
+}  // namespace gqs

@@ -1,0 +1,95 @@
+// register_client.hpp — drives register operations in a simulation and
+// records an invocation/response history for the linearizability checkers.
+#pragma once
+
+#include <vector>
+
+#include "lincheck/register_history.hpp"
+#include "register/atomic_register.hpp"
+#include "sim/simulation.hpp"
+
+namespace gqs {
+
+/// Issues read/write invocations at chosen processes and collects the
+/// resulting history. Works with any atomic_register instantiation.
+///
+/// Well-formedness is the caller's responsibility: a process is a
+/// sequential client, so do not invoke a second operation at a process
+/// before its previous one completed (concurrency comes from *different*
+/// processes). Violating this can produce duplicate versions (two writes
+/// at p computing the same (k+1, p)) and histories outside the
+/// linearizability checkers' input domain.
+template <class RegisterNode>
+class register_client {
+ public:
+  register_client(simulation& sim, std::vector<RegisterNode*> nodes)
+      : sim_(&sim), nodes_(std::move(nodes)) {}
+
+  /// Schedules write(x) at process p (at the current simulation instant);
+  /// returns the history index of the operation.
+  std::size_t invoke_write(process_id p, reg_value x) {
+    const std::size_t idx = history_.size();
+    register_op op;
+    op.kind = reg_op_kind::write;
+    op.proc = p;
+    op.value = x;
+    op.invoked_at = sim_->now();
+    history_.push_back(op);
+    sim_->post(p, [this, idx, p, x] {
+      history_[idx].invoked_at = sim_->now();
+      history_[idx].invoked_stamp = sim_->take_stamp();
+      nodes_[p]->write(x, [this, idx](reg_version installed) {
+        history_[idx].returned_at = sim_->now();
+        history_[idx].returned_stamp = sim_->take_stamp();
+        history_[idx].version = installed;
+      });
+    });
+    return idx;
+  }
+
+  /// Schedules read() at process p; returns the history index.
+  std::size_t invoke_read(process_id p) {
+    const std::size_t idx = history_.size();
+    register_op op;
+    op.kind = reg_op_kind::read;
+    op.proc = p;
+    op.invoked_at = sim_->now();
+    history_.push_back(op);
+    sim_->post(p, [this, idx, p] {
+      history_[idx].invoked_at = sim_->now();
+      history_[idx].invoked_stamp = sim_->take_stamp();
+      nodes_[p]->read([this, idx](reg_value v, reg_version observed) {
+        history_[idx].returned_at = sim_->now();
+        history_[idx].returned_stamp = sim_->take_stamp();
+        history_[idx].value = v;
+        history_[idx].version = observed;
+      });
+    });
+    return idx;
+  }
+
+  bool complete(std::size_t idx) const {
+    return history_.at(idx).complete();
+  }
+
+  bool all_complete() const {
+    for (const register_op& op : history_)
+      if (!op.complete()) return false;
+    return true;
+  }
+
+  std::size_t pending_count() const {
+    std::size_t n = 0;
+    for (const register_op& op : history_) n += !op.complete();
+    return n;
+  }
+
+  const register_history& history() const noexcept { return history_; }
+
+ private:
+  simulation* sim_;
+  std::vector<RegisterNode*> nodes_;
+  register_history history_;
+};
+
+}  // namespace gqs

@@ -1,0 +1,44 @@
+#include "sim/flooding.hpp"
+
+namespace gqs {
+
+void flooding_node::on_message(process_id from, const message_ptr& m) {
+  const auto env = std::dynamic_pointer_cast<const envelope>(m);
+  if (!env) return;  // flooding nodes only exchange envelopes
+  handle(from, env);
+}
+
+void flooding_node::flood_send(process_id dest, message_ptr payload) {
+  if (dest != to_all && dest >= system_size())
+    throw std::out_of_range("flood_send: destination out of range");
+  originate(dest, std::move(payload));
+}
+
+void flooding_node::flood_broadcast(message_ptr payload) {
+  originate(to_all, std::move(payload));
+}
+
+void flooding_node::originate(process_id dest, message_ptr payload) {
+  auto env = std::make_shared<const envelope>(id(), next_seq_++, dest,
+                                              std::move(payload));
+  seen_.insert(key_of(env->origin, env->seq));
+  // Local delivery first (a process trivially "reaches" itself).
+  if (dest == to_all || dest == id()) {
+    sim().post(id(), [this, env] { on_deliver(env->origin, env->payload); });
+  }
+  for (process_id q = 0; q < system_size(); ++q)
+    if (q != id()) send(q, env);
+}
+
+void flooding_node::handle(process_id from,
+                           const std::shared_ptr<const envelope>& env) {
+  if (!seen_.insert(key_of(env->origin, env->seq)).second) return;
+  // Forward once to every other neighbor (not back to the immediate
+  // sender; duplicates are filtered by `seen_` anyway).
+  for (process_id q = 0; q < system_size(); ++q)
+    if (q != id() && q != from) send(q, env);
+  if (env->dest == to_all || env->dest == id())
+    on_deliver(env->origin, env->payload);
+}
+
+}  // namespace gqs

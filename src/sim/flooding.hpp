@@ -1,0 +1,66 @@
+// flooding.hpp — transitive connectivity via message forwarding.
+//
+// The paper assumes WLOG that the connectivity relation of G \ f is
+// transitive, "simulated by having all processes forward every received
+// message" (§5, §7). flooding_node realizes exactly that: every protocol
+// payload travels inside an envelope that each process forwards to all its
+// physical neighbors once (deduplicated by origin + sequence number), so a
+// payload reaches every process connected to its origin by a directed path
+// of correct channels.
+//
+// Protocols built on flooding_node use flood_send / flood_broadcast and
+// receive payloads through on_deliver(origin, payload); they never see the
+// envelopes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "sim/simulation.hpp"
+
+namespace gqs {
+
+class flooding_node : public node {
+ public:
+  /// Pseudo-destination meaning "deliver at every process".
+  static constexpr process_id to_all = 0xffffffff;
+
+  void on_message(process_id from, const message_ptr& m) final;
+
+ protected:
+  /// Sends payload to a single destination, routed around channel failures
+  /// by flooding. Delivery to self is immediate (same instant, new event).
+  void flood_send(process_id dest, message_ptr payload);
+
+  /// Sends payload to every process, including the sender itself (the
+  /// paper's "send to all"; quorums may contain the sender).
+  void flood_broadcast(message_ptr payload);
+
+  /// Protocol-level receipt: payload originated at `origin` (which may be
+  /// this process itself).
+  virtual void on_deliver(process_id origin, const message_ptr& payload) = 0;
+
+ private:
+  struct envelope : message {
+    process_id origin;
+    std::uint64_t seq;
+    process_id dest;  // a process id, or to_all
+    message_ptr payload;
+
+    envelope(process_id o, std::uint64_t s, process_id d, message_ptr p)
+        : origin(o), seq(s), dest(d), payload(std::move(p)) {}
+    std::string debug_name() const override { return "envelope"; }
+  };
+
+  void originate(process_id dest, message_ptr payload);
+  void handle(process_id from, const std::shared_ptr<const envelope>& env);
+
+  static std::uint64_t key_of(process_id origin, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(origin) << 48) | (seq & 0xffffffffffff);
+  }
+
+  std::uint64_t next_seq_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace gqs

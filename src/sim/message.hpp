@@ -1,0 +1,36 @@
+// message.hpp — the unit of communication in the simulator.
+//
+// Messages are immutable C++ values shared between sender and receivers;
+// protocols define subclasses and downcast on receipt (the simulator is an
+// in-process model of a network, so no serialization layer is pretended —
+// see DESIGN.md §3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace gqs {
+
+/// Base class of all protocol messages.
+struct message {
+  virtual ~message() = default;
+
+  /// Short human-readable tag for tracing.
+  virtual std::string debug_name() const { return "message"; }
+};
+
+using message_ptr = std::shared_ptr<const message>;
+
+/// Convenience factory: make_message<MyMsg>(args...)
+template <class M, class... Args>
+message_ptr make_message(Args&&... args) {
+  return std::make_shared<const M>(std::forward<Args>(args)...);
+}
+
+/// Downcast helper; returns nullptr if the message is not an M.
+template <class M>
+const M* message_cast(const message_ptr& m) {
+  return dynamic_cast<const M*>(m.get());
+}
+
+}  // namespace gqs

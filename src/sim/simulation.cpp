@@ -1,0 +1,150 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace gqs {
+
+simulation::simulation(process_id n, network_options net, fault_plan faults,
+                       std::uint64_t seed)
+    : n_(n), net_(net), faults_(std::move(faults)), rng_(seed), nodes_(n) {
+  if (n == 0) throw std::invalid_argument("simulation: empty system");
+  if (faults_.system_size() != n)
+    throw std::invalid_argument("simulation: fault plan size mismatch");
+  net_.validate();
+}
+
+simulation::~simulation() = default;
+
+void simulation::set_node(process_id p, std::unique_ptr<node> nd) {
+  if (p >= n_) throw std::out_of_range("simulation: process out of range");
+  if (!nd) throw std::invalid_argument("simulation: null node");
+  if (started_)
+    throw std::logic_error("simulation: set_node after start");
+  nd->attach(this, p);
+  nodes_[p] = std::move(nd);
+}
+
+node& simulation::node_at(process_id p) {
+  if (p >= n_ || !nodes_[p])
+    throw std::out_of_range("simulation: no node at process");
+  return *nodes_[p];
+}
+
+void simulation::start() {
+  if (started_) throw std::logic_error("simulation: started twice");
+  for (process_id p = 0; p < n_; ++p)
+    if (!nodes_[p])
+      throw std::logic_error("simulation: node missing at process " +
+                             std::to_string(p));
+  started_ = true;
+  for (process_id p = 0; p < n_; ++p)
+    schedule(0, [this, p] {
+      if (faults_.alive_at(p, now_)) nodes_[p]->on_start();
+    });
+}
+
+void simulation::schedule(sim_time at, std::function<void()> fn) {
+  queue_.push(event{at, next_seq_++, std::move(fn)});
+}
+
+sim_time simulation::draw_delay() {
+  const sim_time hi = now_ >= net_.gst ? net_.delta : net_.max_delay;
+  std::uniform_int_distribution<sim_time> d(net_.min_delay, hi);
+  return d(rng_);
+}
+
+void simulation::emit_trace(trace_event::kind what, process_id from,
+                            process_id to, const message* m) const {
+  if (!trace_) return;
+  trace_event ev;
+  ev.what = what;
+  ev.at = now_;
+  ev.from = from;
+  ev.to = to;
+  if (m) ev.label = m->debug_name();
+  trace_(ev);
+}
+
+void simulation::send(process_id from, process_id to, message_ptr m) {
+  if (from >= n_ || to >= n_)
+    throw std::out_of_range("simulation::send: process out of range");
+  if (from == to)
+    throw std::invalid_argument("simulation::send: self-send (use post)");
+  if (!m) throw std::invalid_argument("simulation::send: null message");
+  if (!faults_.alive_at(from, now_)) return;  // crashed sender takes no steps
+  ++metrics_.messages_sent;
+  emit_trace(trace_event::kind::send, from, to, m.get());
+  if (!faults_.channel_up_at(from, to, now_)) {
+    ++metrics_.dropped_disconnected;
+    emit_trace(trace_event::kind::drop_channel, from, to, m.get());
+    return;
+  }
+  const sim_time arrival = now_ + draw_delay();
+  schedule(arrival, [this, from, to, msg = std::move(m)] {
+    if (!faults_.alive_at(to, now_)) {
+      ++metrics_.dropped_receiver_crashed;
+      emit_trace(trace_event::kind::drop_crashed, from, to, msg.get());
+      return;
+    }
+    ++metrics_.messages_delivered;
+    emit_trace(trace_event::kind::deliver, from, to, msg.get());
+    nodes_[to]->on_message(from, msg);
+  });
+}
+
+void simulation::post(process_id p, std::function<void()> fn) {
+  if (p >= n_) throw std::out_of_range("simulation::post: out of range");
+  schedule(now_, [this, p, f = std::move(fn)] {
+    if (faults_.alive_at(p, now_)) f();
+  });
+}
+
+int simulation::set_timer(process_id p, sim_time delay) {
+  if (p >= n_) throw std::out_of_range("simulation::set_timer: out of range");
+  if (delay < 0) throw std::invalid_argument("simulation: negative delay");
+  const int id = next_timer_++;
+  schedule(now_ + delay, [this, p, id] {
+    if (!faults_.alive_at(p, now_)) return;
+    ++metrics_.timers_fired;
+    emit_trace(trace_event::kind::timer, p, p, nullptr);
+    nodes_[p]->on_timer(id);
+  });
+  return id;
+}
+
+std::uint64_t simulation::run_until(sim_time horizon) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    event e = queue_.top();
+    queue_.pop();
+    if (e.at < now_)
+      throw std::logic_error("simulation: time went backwards");
+    now_ = e.at;
+    e.fn();
+    ++processed;
+    ++metrics_.events_processed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return processed;
+}
+
+bool simulation::run_until_condition(const std::function<bool()>& done,
+                                     sim_time horizon) {
+  if (done()) return true;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    e.fn();
+    ++metrics_.events_processed;
+    if (done()) return true;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return done();
+}
+
+bool simulation::idle_before(sim_time horizon) const {
+  return queue_.empty() || queue_.top().at > horizon;
+}
+
+}  // namespace gqs

@@ -1,0 +1,194 @@
+// simulation.hpp — deterministic discrete-event simulator.
+//
+// The simulator owns a set of nodes (protocol state machines), a virtual
+// clock, and an event queue. All nondeterminism (message delays) is drawn
+// from a single seeded RNG, so a run is a pure function of
+// (protocol, options, fault plan, seed, invocation script).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/options.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+
+class node;
+
+/// Global counters of simulated network activity.
+struct sim_metrics {
+  std::uint64_t messages_sent = 0;       ///< physical channel transmissions
+  std::uint64_t messages_delivered = 0;  ///< receptions at live processes
+  std::uint64_t dropped_disconnected = 0;  ///< sends on a dead channel
+  std::uint64_t dropped_receiver_crashed = 0;
+  std::uint64_t timers_fired = 0;
+  std::uint64_t events_processed = 0;
+};
+
+/// One network-level event for tracing/debugging.
+struct trace_event {
+  enum class kind {
+    send,            ///< message put on a channel
+    deliver,         ///< message handed to a live receiver
+    drop_channel,    ///< send on a disconnected channel
+    drop_crashed,    ///< delivery to a crashed receiver
+    timer,           ///< timer fired at a live process
+  };
+  kind what = kind::send;
+  sim_time at = 0;
+  process_id from = 0;
+  process_id to = 0;
+  std::string label;  ///< message::debug_name(), empty for timers
+};
+
+/// Receives every trace_event as it happens. Keep it cheap: it runs inside
+/// the event loop.
+using trace_sink = std::function<void(const trace_event&)>;
+
+/// The simulation world.
+class simulation {
+ public:
+  simulation(process_id n, network_options net, fault_plan faults,
+             std::uint64_t seed);
+  ~simulation();
+
+  simulation(const simulation&) = delete;
+  simulation& operator=(const simulation&) = delete;
+
+  process_id size() const noexcept { return n_; }
+  sim_time now() const noexcept { return now_; }
+
+  /// Monotonic causal stamp: strictly increases with every call. History
+  /// recorders use stamps (not the coarse virtual clock, under which a
+  /// response and a causally later invocation can share a timestamp) to
+  /// capture the exact real-time order of operation events.
+  std::uint64_t take_stamp() noexcept { return ++stamp_; }
+  const sim_metrics& metrics() const noexcept { return metrics_; }
+  std::mt19937_64& rng() noexcept { return rng_; }
+  const fault_plan& faults() const noexcept { return faults_; }
+
+  /// Installs the protocol node for process p. Must be called for every
+  /// process before start().
+  void set_node(process_id p, std::unique_ptr<node> n);
+
+  node& node_at(process_id p);
+
+  /// Schedules on_start for every node at time 0. Call exactly once.
+  void start();
+
+  /// Processes events with timestamp <= horizon (in timestamp order).
+  /// Returns the number of events processed.
+  std::uint64_t run_until(sim_time horizon);
+
+  /// Processes events until `done()` returns true or the horizon passes.
+  /// Returns true iff the condition was met.
+  bool run_until_condition(const std::function<bool()>& done,
+                           sim_time horizon);
+
+  /// True iff no events remain at or before `horizon`.
+  bool idle_before(sim_time horizon) const;
+
+  /// True at the current instant (used by nodes to self-check; a crashed
+  /// node receives no events, so protocols normally need not ask).
+  bool alive(process_id p) const { return faults_.alive_at(p, now_); }
+
+  // ---- node-facing API (called from within event handlers) ----
+
+  /// Sends m from `from` to `to` over the physical channel, applying the
+  /// channel's failure state and a random delay.
+  void send(process_id from, process_id to, message_ptr m);
+
+  /// Schedules fn to run at the current time (after already-queued events
+  /// of this instant) on behalf of process p; dropped if p has crashed by
+  /// then. Used for self-delivery and for injecting client operations.
+  void post(process_id p, std::function<void()> fn);
+
+  /// Arms a one-shot timer for process p; on expiry, node::on_timer(id) is
+  /// invoked (unless p crashed). Returns the timer id.
+  int set_timer(process_id p, sim_time delay);
+
+  /// Installs (or clears, with nullptr) a network-event trace sink.
+  void set_trace(trace_sink sink) { trace_ = std::move(sink); }
+
+ private:
+  struct event {
+    sim_time at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct event_later {
+    bool operator()(const event& a, const event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void schedule(sim_time at, std::function<void()> fn);
+  sim_time draw_delay();
+  void emit_trace(trace_event::kind what, process_id from, process_id to,
+                  const message* m) const;
+
+  process_id n_;
+  network_options net_;
+  fault_plan faults_;
+  std::mt19937_64 rng_;
+  sim_time now_ = 0;
+  std::uint64_t stamp_ = 0;
+  std::uint64_t next_seq_ = 0;
+  int next_timer_ = 0;
+  bool started_ = false;
+  sim_metrics metrics_;
+  trace_sink trace_;
+  std::priority_queue<event, std::vector<event>, event_later> queue_;
+  std::vector<std::unique_ptr<node>> nodes_;
+};
+
+/// Base class for protocol state machines.
+///
+/// Lifecycle: constructed by the test/bench harness, installed via
+/// simulation::set_node (which attaches it), then driven entirely by
+/// events: on_start at time 0, then on_message / on_timer.
+class node {
+ public:
+  virtual ~node() = default;
+
+  /// Called by simulation::set_node.
+  void attach(simulation* sim, process_id id) {
+    sim_ = sim;
+    id_ = id;
+  }
+
+  process_id id() const noexcept { return id_; }
+
+  virtual void on_start() {}
+  virtual void on_message(process_id from, const message_ptr& m) = 0;
+  virtual void on_timer(int timer_id) { (void)timer_id; }
+
+ protected:
+  simulation& sim() const { return *sim_; }
+  sim_time now() const { return sim_->now(); }
+  process_id system_size() const { return sim_->size(); }
+
+  /// Physical point-to-point send (no routing around failed channels; use
+  /// flooding_node for the paper's transitive-connectivity model).
+  void send(process_id to, message_ptr m) { sim_->send(id_, to, std::move(m)); }
+
+  /// Physical send to every other process.
+  void broadcast_physical(const message_ptr& m) {
+    for (process_id q = 0; q < sim_->size(); ++q)
+      if (q != id_) sim_->send(id_, q, m);
+  }
+
+  int set_timer(sim_time delay) { return sim_->set_timer(id_, delay); }
+
+ private:
+  simulation* sim_ = nullptr;
+  process_id id_ = 0;
+};
+
+}  // namespace gqs

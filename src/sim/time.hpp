@@ -1,0 +1,28 @@
+// time.hpp — virtual time for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace gqs {
+
+/// Virtual simulation time in microseconds. Signed so that subtraction is
+/// safe; negative times never occur in a run.
+using sim_time = std::int64_t;
+
+/// Sentinel for "never".
+inline constexpr sim_time sim_time_never = INT64_MAX;
+
+namespace sim_literals {
+
+constexpr sim_time operator""_us(unsigned long long v) {
+  return static_cast<sim_time>(v);
+}
+constexpr sim_time operator""_ms(unsigned long long v) {
+  return static_cast<sim_time>(v) * 1000;
+}
+constexpr sim_time operator""_s(unsigned long long v) {
+  return static_cast<sim_time>(v) * 1000 * 1000;
+}
+
+}  // namespace sim_literals
+}  // namespace gqs

@@ -1,0 +1,191 @@
+// transport.hpp — separation of protocol logic from network endpoints.
+//
+// A `component` is a protocol state machine (quorum access functions, a
+// register, consensus, ...) that communicates through an abstract
+// `transport`. A `single_host` is a simulation node hosting one component
+// over the flooding layer. A `mux_host` hosts many components at the same
+// process, multiplexing their traffic over one flooding endpoint with
+// instance tags — this is how a snapshot object runs one register instance
+// per segment at every process (paper §4: snapshots are built from
+// registers [2], lattice agreement from snapshots [11]).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/flooding.hpp"
+
+namespace gqs {
+
+/// What a protocol component may do to the outside world. Unicast and
+/// broadcast are flooding-routed (transitive connectivity, per the paper's
+/// WLOG assumption); timers are one-shot.
+class transport {
+ public:
+  virtual ~transport() = default;
+  virtual void unicast(process_id dest, message_ptr payload) = 0;
+  virtual void broadcast(message_ptr payload) = 0;
+  virtual int set_timer(sim_time delay) = 0;
+  virtual process_id self() const = 0;
+  virtual process_id size() const = 0;
+  virtual sim_time now() const = 0;
+};
+
+/// A protocol building block, bound to a transport by its host.
+class component {
+ public:
+  virtual ~component() = default;
+
+  void bind(transport& t) { tr_ = &t; }
+
+  /// Called once at simulation start (time 0).
+  virtual void start() {}
+  /// A payload originated by `origin` arrived (possibly relayed).
+  virtual void deliver(process_id origin, const message_ptr& payload) = 0;
+  /// A timer armed by this component fired.
+  virtual void on_timeout(int timer_id) { (void)timer_id; }
+
+ protected:
+  process_id id() const { return tr().self(); }
+  process_id system_size() const { return tr().size(); }
+  sim_time now() const { return tr().now(); }
+  void unicast(process_id dest, message_ptr m) {
+    tr().unicast(dest, std::move(m));
+  }
+  void broadcast(message_ptr m) { tr().broadcast(std::move(m)); }
+  int set_timer(sim_time delay) { return tr().set_timer(delay); }
+
+ private:
+  transport& tr() const {
+    if (!tr_) throw std::logic_error("component used before bind()");
+    return *tr_;
+  }
+  transport* tr_ = nullptr;
+};
+
+/// Simulation node hosting exactly one component.
+class single_host final : public flooding_node, private transport {
+ public:
+  explicit single_host(std::unique_ptr<component> c) : comp_(std::move(c)) {
+    if (!comp_) throw std::invalid_argument("single_host: null component");
+    comp_->bind(*this);
+  }
+
+  component& comp() { return *comp_; }
+
+  /// Typed access to the hosted component.
+  template <class C>
+  C& as() {
+    return dynamic_cast<C&>(*comp_);
+  }
+
+ protected:
+  void on_start() override { comp_->start(); }
+  void on_timer(int timer_id) override { comp_->on_timeout(timer_id); }
+  void on_deliver(process_id origin, const message_ptr& payload) override {
+    comp_->deliver(origin, payload);
+  }
+
+ private:
+  void unicast(process_id dest, message_ptr m) override {
+    flood_send(dest, std::move(m));
+  }
+  void broadcast(message_ptr m) override { flood_broadcast(std::move(m)); }
+  int set_timer(sim_time delay) override { return node::set_timer(delay); }
+  process_id self() const override { return node::id(); }
+  process_id size() const override { return node::system_size(); }
+  sim_time now() const override { return node::now(); }
+
+  std::unique_ptr<component> comp_;
+};
+
+/// Simulation node hosting several components, each with its own logical
+/// channel (instance tag). Component k at process p talks only to
+/// component k at other processes.
+class mux_host : public flooding_node {
+ public:
+  /// Adds a component; returns its instance index. Call before the
+  /// simulation starts.
+  int add_component(std::unique_ptr<component> c) {
+    if (!c) throw std::invalid_argument("mux_host: null component");
+    const int instance = static_cast<int>(comps_.size());
+    proxies_.push_back(std::make_unique<proxy>(this, instance));
+    c->bind(*proxies_.back());
+    comps_.push_back(std::move(c));
+    return instance;
+  }
+
+  /// Constructs and adds a component in place; returns a typed reference.
+  template <class C, class... Args>
+  C& emplace_component(Args&&... args) {
+    auto c = std::make_unique<C>(std::forward<Args>(args)...);
+    C& ref = *c;
+    add_component(std::move(c));
+    return ref;
+  }
+
+  component& component_at(int instance) { return *comps_.at(instance); }
+  std::size_t component_count() const noexcept { return comps_.size(); }
+
+ protected:
+  void on_start() override {
+    for (auto& c : comps_) c->start();
+  }
+
+  void on_timer(int timer_id) override {
+    const auto it = timer_owner_.find(timer_id);
+    if (it == timer_owner_.end()) return;
+    const int instance = it->second;
+    timer_owner_.erase(it);
+    comps_[instance]->on_timeout(timer_id);
+  }
+
+  void on_deliver(process_id origin, const message_ptr& payload) override {
+    const auto* t = message_cast<tagged>(payload);
+    if (!t) return;
+    if (t->instance < 0 ||
+        t->instance >= static_cast<int>(comps_.size()))
+      return;  // peer hosts more components than we do: ignore
+    comps_[t->instance]->deliver(origin, t->inner);
+  }
+
+ private:
+  struct tagged : message {
+    int instance;
+    message_ptr inner;
+    tagged(int i, message_ptr m) : instance(i), inner(std::move(m)) {}
+    std::string debug_name() const override { return "mux"; }
+  };
+
+  class proxy final : public transport {
+   public:
+    proxy(mux_host* host, int instance) : host_(host), instance_(instance) {}
+
+    void unicast(process_id dest, message_ptr m) override {
+      host_->flood_send(dest, make_message<tagged>(instance_, std::move(m)));
+    }
+    void broadcast(message_ptr m) override {
+      host_->flood_broadcast(make_message<tagged>(instance_, std::move(m)));
+    }
+    int set_timer(sim_time delay) override {
+      const int id = host_->node::set_timer(delay);
+      host_->timer_owner_[id] = instance_;
+      return id;
+    }
+    process_id self() const override { return host_->node::id(); }
+    process_id size() const override { return host_->node::system_size(); }
+    sim_time now() const override { return host_->node::now(); }
+
+   private:
+    mux_host* host_;
+    int instance_;
+  };
+
+  std::vector<std::unique_ptr<component>> comps_;
+  std::vector<std::unique_ptr<proxy>> proxies_;
+  std::map<int, int> timer_owner_;
+};
+
+}  // namespace gqs

@@ -1,0 +1,163 @@
+// replicated_log.hpp — a multi-slot replicated log (state machine
+// replication) built from single-decree Figure 6 consensus instances.
+//
+// The paper's consensus object is single-shot; the standard way to a
+// replicated state machine is one instance per log slot (Paxos' "parliament
+// of decrees"). Each replica runs `max_slots` consensus components
+// multiplexed over one endpoint (the same mux machinery as the snapshot
+// object). A command submitted at a replica is proposed into the first
+// slot this replica has neither proposed into nor seen decided; if the
+// slot is won by a different command, the replica retries on the next
+// slot. Slot decisions propagate to *all* replicas (passive learners),
+// so logs converge within U_f.
+//
+// Safety inherited from consensus Agreement: no two replicas ever disagree
+// on a slot (checked by check_log_agreement). Liveness within U_f per
+// Theorem 5, slot by slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "lincheck/register_history.hpp"
+#include "sim/transport.hpp"
+
+namespace gqs {
+
+/// A log command: an application payload stamped with its submitter and a
+/// per-submitter sequence number, so retries are distinguishable.
+struct log_command {
+  std::int32_t payload = 0;
+  process_id submitter = 0;
+  std::uint32_t submit_seq = 0;
+
+  /// Packs into the consensus value domain (int64).
+  std::int64_t pack() const {
+    return (static_cast<std::int64_t>(submitter) << 56) |
+           (static_cast<std::int64_t>(submit_seq & 0xffffff) << 32) |
+           static_cast<std::int64_t>(static_cast<std::uint32_t>(payload));
+  }
+  static log_command unpack(std::int64_t v) {
+    log_command c;
+    c.submitter = static_cast<process_id>((v >> 56) & 0xff);
+    c.submit_seq = static_cast<std::uint32_t>((v >> 32) & 0xffffff);
+    c.payload = static_cast<std::int32_t>(v & 0xffffffff);
+    return c;
+  }
+  friend bool operator==(const log_command&, const log_command&) = default;
+};
+
+class replicated_log_node : public mux_host {
+ public:
+  /// Fired when the submitted command lands in a slot of this replica's
+  /// log (commands from other replicas may occupy earlier slots).
+  using submit_callback = std::function<void(std::size_t slot)>;
+
+  replicated_log_node(process_id n_processes, quorum_config config,
+                      std::size_t max_slots, consensus_options options = {})
+      : slots_(max_slots), decided_(max_slots) {
+    (void)n_processes;
+    for (std::size_t s = 0; s < max_slots; ++s) {
+      slots_[s] = &emplace_component<consensus_node>(config, options);
+    }
+  }
+
+  /// Submits a command; the callback fires when it is decided in a slot.
+  /// At most one outstanding submission per replica at a time.
+  void submit(std::int32_t payload, submit_callback done) {
+    if (pending_)
+      throw std::logic_error("replicated_log: submission already pending");
+    log_command cmd{payload, id(), next_seq_++};
+    pending_ = pending_submit{cmd, std::move(done)};
+    try_slot(first_free_slot());
+  }
+
+  /// The replica's current view of the log: decided commands per slot.
+  const std::vector<std::optional<log_command>>& log() const {
+    return decided_;
+  }
+
+  /// Number of contiguously decided slots from the front (the committed
+  /// prefix this replica can apply to a state machine).
+  std::size_t committed_prefix() const {
+    std::size_t n = 0;
+    while (n < decided_.size() && decided_[n]) ++n;
+    return n;
+  }
+
+ protected:
+  void on_start() override {
+    mux_host::on_start();
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+      slots_[s]->on_decision([this, s](std::int64_t v) { learn(s, v); });
+  }
+
+ private:
+  struct pending_submit {
+    log_command cmd;
+    submit_callback done;
+  };
+
+  std::size_t first_free_slot() const {
+    for (std::size_t s = 0; s < slots_.size(); ++s)
+      if (!decided_[s] && !proposed_slots_.count(s)) return s;
+    throw std::logic_error("replicated_log: log full");
+  }
+
+  void try_slot(std::size_t s) {
+    proposed_slots_.insert(s);
+    slots_[s]->propose(pending_->cmd.pack(), [](std::int64_t) {});
+  }
+
+  void learn(std::size_t slot, std::int64_t value) {
+    decided_[slot] = log_command::unpack(value);
+    if (!pending_) return;
+    if (*decided_[slot] == pending_->cmd) {
+      auto done = std::move(pending_->done);
+      pending_.reset();
+      done(slot);
+      return;
+    }
+    // Our command lost this slot (or another slot decided); retry if the
+    // slot we proposed into is now taken by someone else.
+    if (proposed_slots_.count(slot)) {
+      // Find the next slot we have not proposed into and is undecided.
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        if (decided_[s] || proposed_slots_.count(s)) continue;
+        try_slot(s);
+        return;
+      }
+    }
+  }
+
+  std::vector<consensus_node*> slots_;
+  std::vector<std::optional<log_command>> decided_;
+  std::set<std::size_t> proposed_slots_;
+  std::optional<pending_submit> pending_;
+  std::uint32_t next_seq_ = 0;
+};
+
+/// Agreement across replicas: no slot decided with two different commands.
+inline lincheck_result check_log_agreement(
+    const std::vector<const replicated_log_node*>& replicas) {
+  if (replicas.empty()) return lincheck_result::good();
+  const std::size_t slots = replicas.front()->log().size();
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::optional<log_command> seen;
+    for (const auto* r : replicas) {
+      const auto& entry = r->log().at(s);
+      if (!entry) continue;
+      if (seen && !(*seen == *entry))
+        return lincheck_result::bad("slot " + std::to_string(s) +
+                                    " decided differently across replicas");
+      seen = entry;
+    }
+  }
+  return lincheck_result::good();
+}
+
+}  // namespace gqs

@@ -1,0 +1,77 @@
+// snapshot_client.hpp — drives snapshot operations and records a history
+// for check_snapshot_linearizable.
+#pragma once
+
+#include <vector>
+
+#include "lincheck/object_checkers.hpp"
+#include "sim/simulation.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace gqs {
+
+/// Drives update/scan invocations against int64-valued snapshot nodes and
+/// records the history. A process is a sequential client: do not overlap
+/// two operations at the same process.
+class snapshot_client {
+ public:
+  using node_type = snapshot_node<std::int64_t>;
+
+  snapshot_client(simulation& sim, std::vector<node_type*> nodes)
+      : sim_(&sim), nodes_(std::move(nodes)) {}
+
+  std::size_t invoke_update(process_id p, std::int64_t x) {
+    const std::size_t idx = history_.size();
+    snapshot_op op;
+    op.is_scan = false;
+    op.proc = p;
+    op.written = x;
+    op.invoked_at = sim_->now();
+    history_.push_back(op);
+    sim_->post(p, [this, idx, p, x] {
+      history_[idx].invoked_at = sim_->now();
+      history_[idx].invoked_stamp = sim_->take_stamp();
+      nodes_[p]->update(x, [this, idx] {
+        history_[idx].returned_at = sim_->now();
+        history_[idx].returned_stamp = sim_->take_stamp();
+      });
+    });
+    return idx;
+  }
+
+  std::size_t invoke_scan(process_id p) {
+    const std::size_t idx = history_.size();
+    snapshot_op op;
+    op.is_scan = true;
+    op.proc = p;
+    op.invoked_at = sim_->now();
+    history_.push_back(op);
+    sim_->post(p, [this, idx, p] {
+      history_[idx].invoked_at = sim_->now();
+      history_[idx].invoked_stamp = sim_->take_stamp();
+      nodes_[p]->scan([this, idx](std::vector<std::int64_t> values) {
+        history_[idx].returned_at = sim_->now();
+        history_[idx].returned_stamp = sim_->take_stamp();
+        history_[idx].observed = std::move(values);
+      });
+    });
+    return idx;
+  }
+
+  bool complete(std::size_t idx) const { return history_.at(idx).complete(); }
+  bool all_complete() const {
+    for (const snapshot_op& op : history_)
+      if (!op.complete()) return false;
+    return true;
+  }
+  const std::vector<snapshot_op>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  simulation* sim_;
+  std::vector<node_type*> nodes_;
+  std::vector<snapshot_op> history_;
+};
+
+}  // namespace gqs

@@ -1,0 +1,39 @@
+#include "workload/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace gqs {
+
+sample_summary summarize(std::vector<double> values) {
+  sample_summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  auto percentile = [&](double p) {
+    const double rank = p * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1 - frac) + values[hi] * frac;
+  };
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.min = values.front();
+  s.max = values.back();
+  return s;
+}
+
+std::string fmt_latency_summary(const sample_summary& s) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << s.mean / 1000.0 << " / " << s.p50 / 1000.0 << " / "
+      << s.p95 / 1000.0 << " ms";
+  return out.str();
+}
+
+}  // namespace gqs

@@ -1,0 +1,26 @@
+// stats.hpp — summary statistics for bench measurements.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gqs {
+
+/// Summary of a sample of measurements.
+struct sample_summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// Computes the summary; an empty sample yields all zeros.
+sample_summary summarize(std::vector<double> values);
+
+/// "mean / p50 / p95" rendered in milliseconds from microsecond samples.
+std::string fmt_latency_summary(const sample_summary& s);
+
+}  // namespace gqs

@@ -1,0 +1,83 @@
+#include "workload/table.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gqs {
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("text_table: no columns");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("text_table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      out << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 2;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void text_table::print(std::ostream& out) const { out << to_string(); }
+void text_table::print() const { print(std::cout); }
+
+std::string fmt_ms(sim_time t) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << static_cast<double>(t) / 1000.0 << " ms";
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string grouped;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      grouped.push_back(',');
+      since_sep = 0;
+    }
+    grouped.push_back(*it);
+    ++since_sep;
+  }
+  return {grouped.rbegin(), grouped.rend()};
+}
+
+void print_heading(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n\n";
+}
+
+}  // namespace gqs

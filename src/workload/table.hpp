@@ -1,0 +1,45 @@
+// table.hpp — fixed-width table rendering for the bench harness. Every
+// bench binary prints paper-style rows through this.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gqs {
+
+/// A simple left-aligned text table.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  std::string to_string() const;
+  void print(std::ostream& out) const;
+  void print() const;  // stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats simulated microseconds as milliseconds, e.g. "12.34 ms".
+std::string fmt_ms(sim_time t);
+
+/// Formats a double with the given precision.
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats a count with thousands separators, e.g. "12,345".
+std::string fmt_count(std::uint64_t v);
+
+/// Prints a section heading ("== title ==").
+void print_heading(const std::string& title);
+
+}  // namespace gqs

@@ -1,0 +1,142 @@
+// worlds.hpp — canonical simulation-world builders shared by the bench
+// harness and the examples: a simulation populated with protocol nodes for
+// a given quorum system, fault plan and seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/consensus_client.hpp"
+#include "core/factories.hpp"
+#include "lattice/lattice_agreement.hpp"
+#include "register/register_client.hpp"
+#include "sim/simulation.hpp"
+#include "snapshot/snapshot_client.hpp"
+
+namespace gqs {
+
+/// One single_host-wrapped component of type C per process.
+template <class C>
+struct component_world {
+  simulation sim;
+  std::vector<C*> nodes;
+
+  template <class... Args>
+  component_world(process_id n, fault_plan faults, std::uint64_t seed,
+                  network_options net, Args&&... args)
+      : sim(n, net, std::move(faults), seed) {
+    for (process_id p = 0; p < n; ++p) {
+      auto comp = std::make_unique<C>(args...);
+      nodes.push_back(comp.get());
+      sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+    }
+    sim.start();
+    sim.run_until(0);
+  }
+};
+
+/// Register world (either atomic_register instantiation) with a recording
+/// client.
+template <class RegisterNode>
+struct register_world {
+  simulation sim;
+  std::vector<RegisterNode*> nodes;
+  register_client<RegisterNode> client;
+
+  template <class... Args>
+  register_world(process_id n, fault_plan faults, std::uint64_t seed,
+                 network_options net, Args&&... args)
+      : sim(n, net, std::move(faults), seed), client(sim, {}) {
+    std::vector<RegisterNode*> ptrs;
+    for (process_id p = 0; p < n; ++p) {
+      auto comp = std::make_unique<RegisterNode>(args...);
+      ptrs.push_back(comp.get());
+      sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+    }
+    nodes = ptrs;
+    client = register_client<RegisterNode>(sim, std::move(ptrs));
+    sim.start();
+    sim.run_until(0);
+  }
+};
+
+/// Snapshot world over int64 segment values, with a recording client.
+struct snapshot_world {
+  simulation sim;
+  std::vector<snapshot_node<std::int64_t>*> nodes;
+  snapshot_client client;
+
+  snapshot_world(const generalized_quorum_system& gqs, fault_plan faults,
+                 std::uint64_t seed, network_options net = {},
+                 generalized_qaf_options opts = {})
+      : sim(gqs.system_size(), net, std::move(faults), seed),
+        client(sim, {}) {
+    std::vector<snapshot_node<std::int64_t>*> ptrs;
+    for (process_id p = 0; p < gqs.system_size(); ++p) {
+      auto nd = std::make_unique<snapshot_node<std::int64_t>>(
+          gqs.system_size(), quorum_config::of(gqs), opts);
+      ptrs.push_back(nd.get());
+      sim.set_node(p, std::move(nd));
+    }
+    nodes = ptrs;
+    client = snapshot_client(sim, std::move(ptrs));
+    sim.start();
+    sim.run_until(0);
+  }
+};
+
+/// Lattice-agreement world.
+struct lattice_world {
+  simulation sim;
+  std::vector<lattice_agreement_node*> nodes;
+
+  lattice_world(const generalized_quorum_system& gqs, fault_plan faults,
+                std::uint64_t seed, network_options net = {},
+                generalized_qaf_options opts = {})
+      : sim(gqs.system_size(), net, std::move(faults), seed) {
+    for (process_id p = 0; p < gqs.system_size(); ++p) {
+      auto nd = std::make_unique<lattice_agreement_node>(
+          gqs.system_size(), quorum_config::of(gqs), opts);
+      nodes.push_back(nd.get());
+      sim.set_node(p, std::move(nd));
+    }
+    sim.start();
+    sim.run_until(0);
+  }
+};
+
+/// Consensus world with a recording client. Defaults to a partially
+/// synchronous network timely from time 0.
+struct consensus_world {
+  simulation sim;
+  std::vector<consensus_node*> nodes;
+  consensus_client client;
+
+  static network_options partial_sync(sim_time gst = 0) {
+    network_options net;
+    net.min_delay = 1000;
+    net.max_delay = 200000;
+    net.delta = 10000;
+    net.gst = gst;
+    return net;
+  }
+
+  consensus_world(const generalized_quorum_system& gqs, fault_plan faults,
+                  std::uint64_t seed, network_options net = partial_sync(),
+                  consensus_options opts = {})
+      : sim(gqs.system_size(), net, std::move(faults), seed), client(sim, {}) {
+    std::vector<consensus_node*> ptrs;
+    for (process_id p = 0; p < gqs.system_size(); ++p) {
+      auto comp =
+          std::make_unique<consensus_node>(quorum_config::of(gqs), opts);
+      ptrs.push_back(comp.get());
+      sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+    }
+    nodes = ptrs;
+    client = consensus_client(sim, std::move(ptrs));
+    sim.start();
+    sim.run_until(0);
+  }
+};
+
+}  // namespace gqs

@@ -1,0 +1,121 @@
+#include "core/domination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/existence.hpp"
+#include "core/factories.hpp"
+#include "core/random_systems.hpp"
+
+namespace gqs {
+namespace {
+
+TEST(Dominates, ReflexiveOnEqualPatterns) {
+  failure_pattern f(4, process_set{1}, {{0, 2}});
+  EXPECT_TRUE(dominates(f, f));
+}
+
+TEST(Dominates, MoreCrashesDominate) {
+  failure_pattern weak(4, process_set{1}, {});
+  failure_pattern strong(4, process_set{1, 2}, {});
+  EXPECT_TRUE(dominates(strong, weak));
+  EXPECT_FALSE(dominates(weak, strong));
+}
+
+TEST(Dominates, MoreChannelFailuresDominate) {
+  failure_pattern weak(3, {}, {{0, 1}});
+  failure_pattern strong(3, {}, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(dominates(strong, weak));
+  EXPECT_FALSE(dominates(weak, strong));
+}
+
+TEST(Dominates, CrashSubsumesIncidentChannels) {
+  // Crashing process 1 implicitly fails channels (0,1) and (1,0): the
+  // crash-only pattern dominates the channels-only pattern.
+  failure_pattern channels(3, {}, {{0, 1}, {1, 0}});
+  failure_pattern crash(3, process_set{1}, {});
+  EXPECT_TRUE(dominates(crash, channels));
+  // But not vice versa: the crash also fails (1,2), (2,1).
+  EXPECT_FALSE(dominates(channels, crash));
+}
+
+TEST(Dominates, IncomparablePatterns) {
+  failure_pattern f(4, process_set{0}, {});
+  failure_pattern g(4, process_set{1}, {});
+  EXPECT_FALSE(dominates(f, g));
+  EXPECT_FALSE(dominates(g, f));
+}
+
+TEST(Dominates, SizeMismatchThrows) {
+  EXPECT_THROW(dominates(failure_pattern(3), failure_pattern(4)),
+               std::invalid_argument);
+}
+
+TEST(Normalize, DropsDominatedPatterns) {
+  fail_prone_system fps(4);
+  fps.add(failure_pattern(4, process_set{1}, {}));
+  fps.add(failure_pattern(4, process_set{1, 2}, {}));  // dominates the first
+  fps.add(failure_pattern(4, process_set{3}, {}));     // incomparable
+  const auto normalized = normalize(fps);
+  ASSERT_EQ(normalized.size(), 2u);
+  EXPECT_EQ(normalized[0].crashable(), (process_set{1, 2}));
+  EXPECT_EQ(normalized[1].crashable(), process_set{3});
+}
+
+TEST(Normalize, KeepsOneOfEquivalentPatterns) {
+  fail_prone_system fps(3);
+  fps.add(failure_pattern(3, process_set{0}, {}));
+  fps.add(failure_pattern(3, process_set{0}, {}));
+  const auto normalized = normalize(fps);
+  EXPECT_EQ(normalized.size(), 1u);
+}
+
+TEST(Normalize, Figure1AlreadyNormal) {
+  const auto fps = make_figure1().gqs.fps;
+  EXPECT_EQ(normalize(fps).size(), fps.size());
+}
+
+TEST(Normalize, CrashDominatesEquivalentChannelPattern) {
+  // Pattern A fails all channels incident to process 2 (but 2 stays up);
+  // pattern B crashes 2. B dominates A (crashing also stops 2's steps).
+  fail_prone_system fps(3);
+  fps.add(failure_pattern(3, {}, {{0, 2}, {2, 0}, {1, 2}, {2, 1}}));
+  fps.add(failure_pattern(3, process_set{2}, {}));
+  const auto normalized = normalize(fps);
+  ASSERT_EQ(normalized.size(), 1u);
+  EXPECT_EQ(normalized[0].crashable(), process_set{2});
+}
+
+// Normalization must not change GQS existence (property over random
+// systems with randomly injected dominated copies).
+class NormalizeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NormalizeSweep, PreservesGqsExistence) {
+  std::mt19937_64 rng(GetParam());
+  random_system_params params;
+  params.n = 4;
+  params.patterns = 3;
+  for (int trial = 0; trial < 8; ++trial) {
+    fail_prone_system fps = random_fail_prone_system(params, rng);
+    // Inject weakened (dominated) copies: the original minus some faults.
+    fail_prone_system padded(fps.system_size());
+    for (const failure_pattern& f : fps) {
+      padded.add(f);
+      if (!f.crashable().empty()) {
+        process_set fewer = f.crashable();
+        fewer.erase(fewer.first());
+        padded.add(failure_pattern(fps.system_size(), fewer, {}));
+      }
+    }
+    const auto normalized = normalize(padded);
+    EXPECT_LE(normalized.size(), padded.size());
+    EXPECT_EQ(find_gqs(padded).has_value(),
+              find_gqs(normalized).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeSweep, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace gqs

@@ -1,0 +1,151 @@
+#include "core/factories.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/random_systems.hpp"
+
+namespace gqs {
+namespace {
+
+TEST(ThresholdFps, PatternCountIsChooseNK) {
+  // Only maximal patterns are generated: C(n, k) of them.
+  EXPECT_EQ(threshold_fail_prone_system(4, 1).size(), 4u);
+  EXPECT_EQ(threshold_fail_prone_system(5, 2).size(), 10u);
+  EXPECT_EQ(threshold_fail_prone_system(6, 3).size(), 20u);
+  EXPECT_EQ(threshold_fail_prone_system(3, 0).size(), 1u);
+}
+
+TEST(ThresholdFps, NoChannelFailures) {
+  const auto fps = threshold_fail_prone_system(5, 2);
+  for (const failure_pattern& f : fps) {
+    EXPECT_EQ(f.faulty_channels().edge_count(), 0);
+    EXPECT_EQ(f.crashable().size(), 2);
+  }
+}
+
+TEST(ThresholdFps, BadArgumentsRejected) {
+  EXPECT_THROW(threshold_fail_prone_system(0, 0), std::invalid_argument);
+  EXPECT_THROW(threshold_fail_prone_system(3, 3), std::invalid_argument);
+  EXPECT_THROW(threshold_fail_prone_system(3, -1), std::invalid_argument);
+  EXPECT_THROW(threshold_fail_prone_system(21, 1), std::invalid_argument);
+}
+
+TEST(ThresholdQs, QuorumSizes) {
+  const auto qs = threshold_quorum_system(5, 1);
+  for (const auto& r : qs.reads) EXPECT_EQ(r.size(), 4);
+  for (const auto& w : qs.writes) EXPECT_EQ(w.size(), 2);
+  EXPECT_EQ(qs.reads.size(), 5u);   // C(5,4)
+  EXPECT_EQ(qs.writes.size(), 10u); // C(5,2)
+}
+
+TEST(ThresholdQs, ConsistencyByCounting) {
+  // |R| + |W| = (n−k) + (k+1) = n + 1 > n forces intersection.
+  for (process_id n : {3u, 5u, 7u})
+    for (int k = 0; k <= (static_cast<int>(n) - 1) / 2; ++k) {
+      const auto qs = threshold_quorum_system(n, k);
+      EXPECT_TRUE(check_consistency(qs.reads, qs.writes).ok)
+          << "n=" << n << " k=" << k;
+    }
+}
+
+TEST(Figure1, NamesAndSizes) {
+  const auto fig = make_figure1();
+  EXPECT_EQ(fig.names, (std::vector<std::string>{"a", "b", "c", "d"}));
+  EXPECT_EQ(fig.gqs.system_size(), 4u);
+  EXPECT_EQ(fig.gqs.fps.size(), 4u);
+  EXPECT_EQ(fig.gqs.reads.size(), 4u);
+  EXPECT_EQ(fig.gqs.writes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fig.gqs.reads[i].size(), 2) << "R" << i + 1;
+    EXPECT_EQ(fig.gqs.writes[i].size(), 2) << "W" << i + 1;
+    EXPECT_EQ(fig.gqs.fps[i].crashable().size(), 1);
+  }
+}
+
+TEST(Figure1, ExactQuorums) {
+  const auto fig = make_figure1();
+  // a=0, b=1, c=2, d=3.
+  EXPECT_EQ(fig.gqs.reads[0], (process_set{0, 2}));   // R1 = {a, c}
+  EXPECT_EQ(fig.gqs.writes[0], (process_set{0, 1}));  // W1 = {a, b}
+  EXPECT_EQ(fig.gqs.reads[1], (process_set{1, 3}));   // R2 = {b, d}
+  EXPECT_EQ(fig.gqs.writes[1], (process_set{1, 2}));  // W2 = {b, c}
+  EXPECT_EQ(fig.gqs.reads[2], (process_set{2, 0}));   // R3 = {c, a}
+  EXPECT_EQ(fig.gqs.writes[2], (process_set{2, 3}));  // W3 = {c, d}
+  EXPECT_EQ(fig.gqs.reads[3], (process_set{3, 1}));   // R4 = {d, b}
+  EXPECT_EQ(fig.gqs.writes[3], (process_set{3, 0}));  // W4 = {d, a}
+}
+
+TEST(Example9, OnlyF1Changed) {
+  const auto base = make_figure1().gqs.fps;
+  const auto variant = make_example9_variant();
+  ASSERT_EQ(variant.size(), base.size());
+  EXPECT_NE(variant[0], base[0]);
+  for (std::size_t i = 1; i < base.size(); ++i)
+    EXPECT_EQ(variant[i], base[i]);
+  // f1′ additionally fails (a, b) = (0, 1).
+  EXPECT_TRUE(variant[0].channel_may_fail(0, 1));
+  EXPECT_FALSE(base[0].channel_may_fail(0, 1));
+}
+
+TEST(RandomSystems, Deterministic) {
+  random_system_params params;
+  std::mt19937_64 rng1(42), rng2(42);
+  const auto a = random_fail_prone_system(params, rng1);
+  const auto b = random_fail_prone_system(params, rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomSystems, RespectsParameters) {
+  random_system_params params;
+  params.n = 6;
+  params.patterns = 5;
+  std::mt19937_64 rng(7);
+  const auto fps = random_fail_prone_system(params, rng);
+  EXPECT_EQ(fps.system_size(), 6u);
+  EXPECT_EQ(fps.size(), 5u);
+}
+
+TEST(RandomSystems, KeepOneCorrect) {
+  random_system_params params;
+  params.n = 3;
+  params.crash_probability = 1.0;
+  params.keep_one_correct = true;
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto f = random_failure_pattern(params, rng);
+    EXPECT_FALSE(f.correct().empty());
+  }
+}
+
+TEST(RandomSystems, PatternsAreWellFormed) {
+  // The generator must never produce channels incident to faulty processes
+  // (the failure_pattern constructor would throw).
+  random_system_params params;
+  params.n = 8;
+  params.crash_probability = 0.5;
+  params.channel_fail_probability = 0.5;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const auto f = random_failure_pattern(params, rng);
+    for (const edge& e : f.faulty_channels().edges()) {
+      EXPECT_TRUE(f.correct().contains(e.from));
+      EXPECT_TRUE(f.correct().contains(e.to));
+    }
+  }
+}
+
+TEST(RandomSystems, RandomGqsWitnessIsValid) {
+  random_system_params params;
+  params.n = 5;
+  params.patterns = 3;
+  params.channel_fail_probability = 0.2;
+  std::mt19937_64 rng(3);
+  const auto witness = random_gqs(params, rng);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(check_generalized(witness->system).ok);
+}
+
+}  // namespace
+}  // namespace gqs

@@ -1,0 +1,144 @@
+#include "core/failure_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.hpp"
+
+namespace gqs {
+namespace {
+
+TEST(FailurePattern, NothingFails) {
+  failure_pattern f(3);
+  EXPECT_TRUE(f.crashable().empty());
+  EXPECT_EQ(f.correct(), process_set::full(3));
+  EXPECT_EQ(f.faulty_channels().edge_count(), 0);
+  EXPECT_EQ(f.residual(), digraph::complete(3));
+}
+
+TEST(FailurePattern, EmptySystemRejected) {
+  EXPECT_THROW(failure_pattern(0), std::invalid_argument);
+  EXPECT_THROW(failure_pattern(0, {}, {}), std::invalid_argument);
+}
+
+TEST(FailurePattern, CrashOnly) {
+  failure_pattern f(4, process_set{3}, {});
+  EXPECT_EQ(f.crashable(), process_set{3});
+  EXPECT_EQ(f.correct(), (process_set{0, 1, 2}));
+  const digraph g = f.residual();
+  EXPECT_EQ(g.present(), (process_set{0, 1, 2}));
+  EXPECT_EQ(g.edge_count(), 6);
+}
+
+TEST(FailurePattern, ChannelOnly) {
+  failure_pattern f(3, {}, {{0, 1}});
+  EXPECT_TRUE(f.channel_may_fail(0, 1));
+  EXPECT_FALSE(f.channel_may_fail(1, 0));
+  EXPECT_FALSE(f.channel_reliable(0, 1));
+  EXPECT_TRUE(f.channel_reliable(1, 0));
+  const digraph g = f.residual();
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(FailurePattern, ChannelIncidentToFaultyProcessRejected) {
+  // The paper requires C to contain only channels between correct
+  // processes.
+  EXPECT_THROW(failure_pattern(3, process_set{0}, {{0, 1}}),
+               std::invalid_argument);
+  EXPECT_THROW(failure_pattern(3, process_set{1}, {{0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(FailurePattern, SelfLoopChannelRejected) {
+  EXPECT_THROW(failure_pattern(3, {}, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(FailurePattern, ChannelOutsideSystemRejected) {
+  EXPECT_THROW(failure_pattern(3, {}, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(FailurePattern, CrashablesOutsideSystemRejected) {
+  EXPECT_THROW(failure_pattern(3, process_set{5}, {}), std::invalid_argument);
+}
+
+TEST(FailurePattern, ChannelReliabilityRequiresCorrectEndpoints) {
+  failure_pattern f(3, process_set{2}, {});
+  EXPECT_FALSE(f.channel_reliable(0, 2));
+  EXPECT_FALSE(f.channel_reliable(2, 0));
+  EXPECT_TRUE(f.channel_reliable(0, 1));
+}
+
+TEST(FailurePattern, ResidualOfCustomNetwork) {
+  digraph network(3);
+  network.add_edge(0, 1);
+  network.add_edge(1, 2);
+  failure_pattern f(3, {}, {{1, 2}});
+  const digraph g = f.residual_of(network);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(FailurePattern, ResidualNetworkSizeMismatch) {
+  failure_pattern f(3);
+  EXPECT_THROW(f.residual_of(digraph::complete(4)), std::invalid_argument);
+}
+
+TEST(FailurePattern, ToStringNames) {
+  failure_pattern f(4, process_set{3}, {{0, 1}});
+  const std::string s = f.to_string({"a", "b", "c", "d"});
+  EXPECT_NE(s.find("d"), std::string::npos);
+  EXPECT_NE(s.find("(a,b)"), std::string::npos);
+}
+
+TEST(FailProneSystem, AddAndIterate) {
+  fail_prone_system fps(3);
+  EXPECT_TRUE(fps.empty());
+  fps.add(failure_pattern(3, process_set{0}, {}));
+  fps.add(failure_pattern(3, process_set{1}, {}));
+  EXPECT_EQ(fps.size(), 2u);
+  int count = 0;
+  for (const failure_pattern& f : fps) {
+    EXPECT_EQ(f.system_size(), 3u);
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(fps[0].crashable(), process_set{0});
+}
+
+TEST(FailProneSystem, SizeMismatchRejected) {
+  fail_prone_system fps(3);
+  EXPECT_THROW(fps.add(failure_pattern(4)), std::invalid_argument);
+  EXPECT_THROW(fail_prone_system(3, {failure_pattern(4)}),
+               std::invalid_argument);
+}
+
+TEST(FailurePattern, Figure1ResidualF1) {
+  // Under f1 the residual graph has exactly the channels (c,a), (a,b),
+  // (b,a) among {a, b, c}; d is absent.
+  const auto fig = make_figure1();
+  const failure_pattern& f1 = fig.gqs.fps[0];
+  const digraph g = f1.residual();
+  EXPECT_EQ(g.present(), (process_set{0, 1, 2}));
+  EXPECT_TRUE(g.has_edge(2, 0));   // (c,a)
+  EXPECT_TRUE(g.has_edge(0, 1));   // (a,b)
+  EXPECT_TRUE(g.has_edge(1, 0));   // (b,a)
+  EXPECT_EQ(g.edge_count(), 3);
+}
+
+TEST(FailurePattern, Figure1PatternsAreRotations) {
+  const auto fig = make_figure1();
+  // Each f_{i+1} is f_i with every process id shifted by +1 (mod 4).
+  for (int i = 0; i < 3; ++i) {
+    const failure_pattern& f = fig.gqs.fps[i];
+    const failure_pattern& g = fig.gqs.fps[i + 1];
+    process_set rotated_crash;
+    for (process_id p : f.crashable()) rotated_crash.insert((p + 1) % 4);
+    EXPECT_EQ(g.crashable(), rotated_crash) << "pattern " << i;
+    for (const edge& e : f.faulty_channels().edges())
+      EXPECT_TRUE(g.channel_may_fail((e.from + 1) % 4, (e.to + 1) % 4))
+          << "pattern " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gqs

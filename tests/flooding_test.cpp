@@ -1,0 +1,210 @@
+#include "sim/flooding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factories.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+namespace {
+
+using namespace sim_literals;
+
+struct payload_msg : message {
+  int value;
+  explicit payload_msg(int v) : value(v) {}
+};
+
+class flood_recorder : public flooding_node {
+ public:
+  struct receipt {
+    process_id origin;
+    int value;
+    sim_time at;
+  };
+  std::vector<receipt> delivered;
+
+  void on_deliver(process_id origin, const message_ptr& payload) override {
+    if (const auto* p = message_cast<payload_msg>(payload))
+      delivered.push_back({origin, p->value, now()});
+  }
+
+  void send_to(process_id dest, int value) {
+    flood_send(dest, make_message<payload_msg>(value));
+  }
+  void broadcast_value(int value) {
+    flood_broadcast(make_message<payload_msg>(value));
+  }
+};
+
+struct flood_world {
+  simulation sim;
+  std::vector<flood_recorder*> nodes;
+
+  flood_world(process_id n, fault_plan faults, std::uint64_t seed = 1,
+              network_options net = {})
+      : sim(n, net, std::move(faults), seed) {
+    for (process_id p = 0; p < n; ++p) {
+      auto nd = std::make_unique<flood_recorder>();
+      nodes.push_back(nd.get());
+      sim.set_node(p, std::move(nd));
+    }
+    sim.start();
+    sim.run_until(0);
+  }
+};
+
+TEST(Flooding, BroadcastReachesEveryoneIncludingSelf) {
+  flood_world w(4, fault_plan::none(4));
+  w.nodes[0]->broadcast_value(7);
+  w.sim.run_until(1_s);
+  for (process_id p = 0; p < 4; ++p) {
+    ASSERT_EQ(w.nodes[p]->delivered.size(), 1u) << "process " << p;
+    EXPECT_EQ(w.nodes[p]->delivered[0].origin, 0u);
+    EXPECT_EQ(w.nodes[p]->delivered[0].value, 7);
+  }
+}
+
+TEST(Flooding, PointToPointDeliversOnlyAtDestination) {
+  flood_world w(4, fault_plan::none(4));
+  w.nodes[1]->send_to(3, 9);
+  w.sim.run_until(1_s);
+  for (process_id p = 0; p < 4; ++p) {
+    if (p == 3) {
+      ASSERT_EQ(w.nodes[p]->delivered.size(), 1u);
+      EXPECT_EQ(w.nodes[p]->delivered[0].value, 9);
+    } else {
+      EXPECT_TRUE(w.nodes[p]->delivered.empty()) << "process " << p;
+    }
+  }
+}
+
+TEST(Flooding, SelfSendDeliversImmediately) {
+  flood_world w(3, fault_plan::none(3));
+  w.nodes[2]->send_to(2, 5);
+  w.sim.run_until_condition([&] { return !w.nodes[2]->delivered.empty(); },
+                            1_s);
+  ASSERT_EQ(w.nodes[2]->delivered.size(), 1u);
+  EXPECT_EQ(w.nodes[2]->delivered[0].at, 0);  // same instant
+}
+
+TEST(Flooding, DedupKeepsMessageCountFinite) {
+  flood_world w(5, fault_plan::none(5));
+  const auto before = w.sim.metrics().messages_sent;
+  w.nodes[0]->broadcast_value(1);
+  w.sim.run_until(1_s);
+  const auto sent = w.sim.metrics().messages_sent - before;
+  // Each of the 5 processes forwards the envelope at most once to at most
+  // 4 neighbors: hard upper bound 20 transmissions for one broadcast.
+  EXPECT_LE(sent, 20u);
+  EXPECT_GE(sent, 4u);
+  // And exactly one delivery per process.
+  for (auto* n : w.nodes) EXPECT_EQ(n->delivered.size(), 1u);
+}
+
+TEST(Flooding, RoutesAroundFailedDirectChannel) {
+  // Direct channel (0,1) down from the start; flooding must route 0's
+  // payload to 1 via 2 (channels (0,2) and (2,1) are up).
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 1, 0);
+  flood_world w(3, std::move(faults));
+  w.nodes[0]->send_to(1, 11);
+  w.sim.run_until(1_s);
+  ASSERT_EQ(w.nodes[1]->delivered.size(), 1u);
+  EXPECT_EQ(w.nodes[1]->delivered[0].value, 11);
+}
+
+TEST(Flooding, MultiHopChainOnly) {
+  // Keep only the chain 0→1→2→3; every other channel is down. A broadcast
+  // from 0 must still reach 3 in three hops.
+  fault_plan faults = fault_plan::none(4);
+  for (process_id u = 0; u < 4; ++u)
+    for (process_id v = 0; v < 4; ++v) {
+      if (u == v) continue;
+      const bool chain = (v == u + 1);
+      if (!chain) faults.disconnect(u, v, 0);
+    }
+  flood_world w(4, std::move(faults));
+  w.nodes[0]->broadcast_value(3);
+  w.sim.run_until(1_s);
+  for (process_id p = 0; p < 4; ++p)
+    ASSERT_EQ(w.nodes[p]->delivered.size(), 1u) << "process " << p;
+  // And nothing flows upstream: a broadcast from 3 reaches only 3.
+  w.nodes[3]->broadcast_value(4);
+  w.sim.run_until(2_s);
+  EXPECT_EQ(w.nodes[3]->delivered.size(), 2u);
+  for (process_id p = 0; p < 3; ++p)
+    EXPECT_EQ(w.nodes[p]->delivered.size(), 1u) << "process " << p;
+}
+
+TEST(Flooding, IsolatedProcessReceivesNothing) {
+  // All channels into 2 are down.
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 2, 0);
+  faults.disconnect(1, 2, 0);
+  flood_world w(3, std::move(faults));
+  w.nodes[0]->broadcast_value(8);
+  w.sim.run_until(1_s);
+  EXPECT_EQ(w.nodes[0]->delivered.size(), 1u);
+  EXPECT_EQ(w.nodes[1]->delivered.size(), 1u);
+  EXPECT_TRUE(w.nodes[2]->delivered.empty());
+  // But 2 can still push *out* (its outgoing channels are fine).
+  w.nodes[2]->broadcast_value(9);
+  w.sim.run_until(2_s);
+  EXPECT_EQ(w.nodes[0]->delivered.size(), 2u);
+  EXPECT_EQ(w.nodes[1]->delivered.size(), 2u);
+}
+
+TEST(Flooding, Figure1F1Connectivity) {
+  // Under f1 of Figure 1 (d crashed; only (c,a), (a,b), (b,a) reliable):
+  // a payload pushed by c reaches a and b; nothing reaches c; a and b
+  // exchange bidirectionally.
+  const auto fig = make_figure1();
+  flood_world w(4, fault_plan::from_pattern(fig.gqs.fps[0], 0));
+  constexpr process_id a = 0, b = 1, c = 2, d = 3;
+  w.nodes[c]->broadcast_value(1);
+  w.sim.run_until(1_s);
+  auto count = [&](process_id p) { return w.nodes[p]->delivered.size(); };
+  EXPECT_EQ(count(a), 1u);
+  EXPECT_EQ(count(b), 1u);
+  EXPECT_EQ(count(c), 1u);  // self-delivery
+  EXPECT_EQ(count(d), 0u);  // crashed
+
+  w.nodes[a]->broadcast_value(2);
+  w.nodes[b]->broadcast_value(3);
+  w.sim.run_until(2_s);
+  EXPECT_EQ(count(a), 3u);
+  EXPECT_EQ(count(b), 3u);
+  EXPECT_EQ(count(c), 1u);  // all channels into c failed
+}
+
+TEST(Flooding, CrashedOriginStopsFlooding) {
+  fault_plan faults = fault_plan::none(3);
+  faults.crash(0, 0);
+  flood_world w(3, std::move(faults));
+  w.nodes[0]->broadcast_value(1);  // invoked, but sends are suppressed
+  w.sim.run_until(1_s);
+  EXPECT_TRUE(w.nodes[1]->delivered.empty());
+  EXPECT_TRUE(w.nodes[2]->delivered.empty());
+}
+
+TEST(Flooding, ManyMessagesAllDeliveredOnce) {
+  flood_world w(4, fault_plan::none(4), 42);
+  for (int i = 0; i < 50; ++i)
+    w.nodes[static_cast<process_id>(i % 4)]->broadcast_value(i);
+  w.sim.run_until(10_s);
+  for (auto* n : w.nodes) {
+    ASSERT_EQ(n->delivered.size(), 50u);
+    // Values 0..49 each exactly once.
+    std::vector<bool> seen(50, false);
+    for (const auto& r : n->delivered) {
+      ASSERT_GE(r.value, 0);
+      ASSERT_LT(r.value, 50);
+      EXPECT_FALSE(seen[r.value]) << "duplicate delivery of " << r.value;
+      seen[r.value] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gqs

@@ -1,0 +1,138 @@
+// lincheck_mutation_test — mutation testing of the linearizability
+// checkers: take genuinely linearizable histories produced by the real
+// protocol, inject targeted corruptions, and require BOTH checkers to
+// reject. Guards against checkers that silently accept everything.
+#include <gtest/gtest.h>
+
+#include "lincheck/dependency_graph.hpp"
+#include "lincheck/wing_gong.hpp"
+#include "workload/worlds.hpp"
+
+namespace gqs {
+namespace {
+
+/// Produces a complete, linearizable history: three rounds of
+/// write-then-read across the two U_f1 members under pattern f1.
+register_history make_real_history(std::uint64_t seed) {
+  const auto fig = make_figure1();
+  register_world<gqs_register_node> w(
+      4, fault_plan::from_pattern(fig.gqs.fps[0], 0), seed,
+      network_options{}, quorum_config::of(fig.gqs), reg_state{},
+      generalized_qaf_options{});
+  for (int round = 0; round < 3; ++round) {
+    const auto wi = w.client.invoke_write(0, 10 + round);
+    EXPECT_TRUE(w.sim.run_until_condition(
+        [&] { return w.client.complete(wi); }, w.sim.now() + 600'000'000L));
+    const auto ri = w.client.invoke_read(1);
+    EXPECT_TRUE(w.sim.run_until_condition(
+        [&] { return w.client.complete(ri); }, w.sim.now() + 600'000'000L));
+  }
+  return w.client.history();
+}
+
+class MutationSweep : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override {
+    history_ = make_real_history(GetParam());
+    ASSERT_GE(history_.size(), 6u);
+    ASSERT_TRUE(check_linearizable(history_).linearizable);
+    ASSERT_TRUE(check_dependency_graph(history_).linearizable);
+  }
+  register_history history_;
+
+  std::size_t first_read() const {
+    for (std::size_t i = 0; i < history_.size(); ++i)
+      if (history_[i].kind == reg_op_kind::read) return i;
+    ADD_FAILURE() << "no read in history";
+    return 0;
+  }
+};
+
+TEST_P(MutationSweep, PhantomReadValueRejected) {
+  // A read returning a value nobody wrote.
+  register_history mutated = history_;
+  mutated[first_read()].value = 9999;
+  EXPECT_FALSE(check_linearizable(mutated).linearizable);
+  EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+}
+
+TEST_P(MutationSweep, StaleReadRejected) {
+  // The LAST read rewound to the FIRST write's value (all writes are
+  // sequential and distinct, so this is a stale read).
+  register_history mutated = history_;
+  std::size_t last_read = history_.size();
+  for (std::size_t i = 0; i < mutated.size(); ++i)
+    if (mutated[i].kind == reg_op_kind::read) last_read = i;
+  ASSERT_LT(last_read, mutated.size());
+  reg_value first_written = 0;
+  reg_version first_version{};
+  for (const auto& op : mutated)
+    if (op.kind == reg_op_kind::write) {
+      first_written = op.value;
+      first_version = op.version;
+      break;
+    }
+  // Skip if the last read already returns the first write (degenerate).
+  if (mutated[last_read].value == first_written) GTEST_SKIP();
+  mutated[last_read].value = first_written;
+  mutated[last_read].version = first_version;
+  EXPECT_FALSE(check_linearizable(mutated).linearizable);
+  EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+}
+
+TEST_P(MutationSweep, SwappedWriteVersionsRejectedByWhiteBox) {
+  // Swapping two writes' version tags breaks the ww/rt consistency that
+  // the Appendix-B graph checks (the black-box checker does not see tags,
+  // so only the white-box one must catch pure tag corruption).
+  register_history mutated = history_;
+  std::vector<std::size_t> writes;
+  for (std::size_t i = 0; i < mutated.size(); ++i)
+    if (mutated[i].kind == reg_op_kind::write) writes.push_back(i);
+  ASSERT_GE(writes.size(), 2u);
+  std::swap(mutated[writes.front()].version, mutated[writes.back()].version);
+  EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+}
+
+TEST_P(MutationSweep, DuplicatedVersionRejectedByWhiteBox) {
+  register_history mutated = history_;
+  std::vector<std::size_t> writes;
+  for (std::size_t i = 0; i < mutated.size(); ++i)
+    if (mutated[i].kind == reg_op_kind::write) writes.push_back(i);
+  ASSERT_GE(writes.size(), 2u);
+  mutated[writes.back()].version = mutated[writes.front()].version;
+  EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+}
+
+TEST_P(MutationSweep, ReorderedResponseRejected) {
+  // Wedge the LAST write's interval strictly between the first write's
+  // response and the first read's invocation: the read then follows two
+  // completed writes but returns the older one — a real-time violation.
+  register_history mutated = history_;
+  // Widen all stamp/time gaps so an interval fits strictly inside.
+  for (auto& op : mutated) {
+    op.invoked_at *= 10;
+    if (op.returned_at) *op.returned_at *= 10;
+    op.invoked_stamp *= 10;
+    op.returned_stamp *= 10;
+  }
+  std::size_t first_write = mutated.size(), last_write = mutated.size();
+  for (std::size_t i = 0; i < mutated.size(); ++i)
+    if (mutated[i].kind == reg_op_kind::write) {
+      if (first_write == mutated.size()) first_write = i;
+      last_write = i;
+    }
+  const std::size_t fr = first_read();
+  ASSERT_NE(first_write, last_write);
+  ASSERT_NE(mutated[fr].value, mutated[last_write].value);
+  mutated[last_write].invoked_at = *mutated[first_write].returned_at + 1;
+  mutated[last_write].returned_at = mutated[fr].invoked_at - 1;
+  mutated[last_write].invoked_stamp =
+      mutated[first_write].returned_stamp + 1;
+  mutated[last_write].returned_stamp = mutated[fr].invoked_stamp - 1;
+  EXPECT_FALSE(check_linearizable(mutated).linearizable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Range(0u, 4u));
+
+}  // namespace
+}  // namespace gqs

@@ -1,0 +1,194 @@
+#include "lincheck/object_checkers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gqs {
+namespace {
+
+// ---------- lattice agreement ----------
+
+TEST(LatticeChecker, EmptyAndSingle) {
+  EXPECT_TRUE(check_lattice_agreement({}));
+  EXPECT_TRUE(check_lattice_agreement({{0, 0b1, 0b1}}));
+}
+
+TEST(LatticeChecker, ComparableChain) {
+  std::vector<lattice_outcome> outcomes = {
+      {0, 0b001, 0b001},
+      {1, 0b010, 0b011},
+      {2, 0b100, 0b111},
+  };
+  EXPECT_TRUE(check_lattice_agreement(outcomes));
+}
+
+TEST(LatticeChecker, IncomparableOutputsRejected) {
+  std::vector<lattice_outcome> outcomes = {
+      {0, 0b001, 0b001},
+      {1, 0b010, 0b010},
+  };
+  const auto r = check_lattice_agreement(outcomes);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.reason.find("Comparability"), std::string::npos);
+}
+
+TEST(LatticeChecker, DownwardValidity) {
+  // Output does not include own input.
+  std::vector<lattice_outcome> outcomes = {{0, 0b011, 0b001}};
+  const auto r = check_lattice_agreement(outcomes);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.reason.find("Downward"), std::string::npos);
+}
+
+TEST(LatticeChecker, UpwardValidity) {
+  // Output contains a bit nobody proposed.
+  std::vector<lattice_outcome> outcomes = {{0, 0b001, 0b101}};
+  const auto r = check_lattice_agreement(outcomes);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.reason.find("Upward"), std::string::npos);
+}
+
+TEST(LatticeChecker, PendingOutputsIgnored) {
+  std::vector<lattice_outcome> outcomes = {
+      {0, 0b001, 0b001},
+      {1, 0b010, std::nullopt},  // never returned — no constraints
+  };
+  EXPECT_TRUE(check_lattice_agreement(outcomes));
+}
+
+TEST(LatticeChecker, PendingInputStillCountsUpward) {
+  // Process 1's propose never returned, but its input may be included in
+  // others' outputs (it was invoked).
+  std::vector<lattice_outcome> outcomes = {
+      {0, 0b001, 0b011},
+      {1, 0b010, std::nullopt},
+  };
+  EXPECT_TRUE(check_lattice_agreement(outcomes));
+}
+
+// ---------- consensus ----------
+
+TEST(ConsensusChecker, AgreementHolds) {
+  std::vector<consensus_outcome> o = {
+      {0, 5, 5}, {1, 7, 5}, {2, std::nullopt, 5}};
+  EXPECT_TRUE(check_consensus(o));
+}
+
+TEST(ConsensusChecker, AgreementViolated) {
+  std::vector<consensus_outcome> o = {{0, 5, 5}, {1, 7, 7}};
+  const auto r = check_consensus(o);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.reason.find("Agreement"), std::string::npos);
+}
+
+TEST(ConsensusChecker, ValidityViolated) {
+  std::vector<consensus_outcome> o = {{0, 5, 9}, {1, 7, 9}};
+  const auto r = check_consensus(o);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.reason.find("Validity"), std::string::npos);
+}
+
+TEST(ConsensusChecker, TerminationViolated) {
+  std::vector<consensus_outcome> o = {{0, 5, 5}, {1, 7, std::nullopt}};
+  EXPECT_TRUE(check_consensus(o, process_set{0}));
+  const auto r = check_consensus(o, process_set{0, 1});
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.reason.find("Termination"), std::string::npos);
+}
+
+TEST(ConsensusChecker, NoDecisionsIsFine) {
+  std::vector<consensus_outcome> o = {{0, 5, std::nullopt}};
+  EXPECT_TRUE(check_consensus(o));
+}
+
+// ---------- snapshots ----------
+
+snapshot_op update_op(process_id writer, std::int64_t x, sim_time inv,
+                      std::optional<sim_time> ret) {
+  snapshot_op op;
+  op.proc = writer;
+  op.written = x;
+  op.invoked_at = inv;
+  op.returned_at = ret;
+  return op;
+}
+
+snapshot_op scan_op(process_id p, std::vector<std::int64_t> seen,
+                    sim_time inv, sim_time ret) {
+  snapshot_op op;
+  op.is_scan = true;
+  op.proc = p;
+  op.observed = std::move(seen);
+  op.invoked_at = inv;
+  op.returned_at = ret;
+  return op;
+}
+
+TEST(SnapshotChecker, EmptyAndInitialScan) {
+  EXPECT_TRUE(check_snapshot_linearizable({}, 2));
+  EXPECT_TRUE(
+      check_snapshot_linearizable({scan_op(0, {0, 0}, 0, 10)}, 2));
+  EXPECT_FALSE(
+      check_snapshot_linearizable({scan_op(0, {0, 1}, 0, 10)}, 2));
+}
+
+TEST(SnapshotChecker, SequentialUpdateThenScan) {
+  std::vector<snapshot_op> h = {
+      update_op(0, 5, 0, 10),
+      scan_op(1, {5, 0}, 20, 30),
+  };
+  EXPECT_TRUE(check_snapshot_linearizable(h, 2));
+  h[1].observed = {0, 0};  // missed a completed update: stale
+  EXPECT_FALSE(check_snapshot_linearizable(h, 2));
+}
+
+TEST(SnapshotChecker, ConcurrentUpdateEitherWay) {
+  std::vector<snapshot_op> h = {
+      update_op(0, 5, 0, 100),
+      scan_op(1, {0, 0}, 10, 20),
+  };
+  EXPECT_TRUE(check_snapshot_linearizable(h, 2));
+  h[1].observed = {5, 0};
+  EXPECT_TRUE(check_snapshot_linearizable(h, 2));
+}
+
+TEST(SnapshotChecker, DoubleCollectAtomicityViolation) {
+  // Two sequential scans observing {new, old} then {old, new} — the
+  // signature of a non-atomic collect — must be rejected.
+  std::vector<snapshot_op> h = {
+      update_op(0, 1, 0, 100),
+      update_op(1, 2, 0, 100),
+      scan_op(2, {1, 0}, 110, 120),
+      scan_op(3, {0, 2}, 130, 140),
+  };
+  EXPECT_FALSE(check_snapshot_linearizable(h, 2));
+}
+
+TEST(SnapshotChecker, WriterOverwrites) {
+  std::vector<snapshot_op> h = {
+      update_op(0, 1, 0, 10),
+      update_op(0, 2, 20, 30),
+      scan_op(1, {2, 0}, 40, 50),
+  };
+  EXPECT_TRUE(check_snapshot_linearizable(h, 2));
+  h[2].observed = {1, 0};  // second update completed before scan: stale
+  EXPECT_FALSE(check_snapshot_linearizable(h, 2));
+}
+
+TEST(SnapshotChecker, PendingUpdateMayOrMayNotAppear) {
+  std::vector<snapshot_op> h = {
+      update_op(0, 7, 0, std::nullopt),
+      scan_op(1, {7, 0}, 50, 60),
+  };
+  EXPECT_TRUE(check_snapshot_linearizable(h, 2));
+  h[1].observed = {0, 0};
+  EXPECT_TRUE(check_snapshot_linearizable(h, 2));
+}
+
+TEST(SnapshotChecker, WrongSegmentCountRejected) {
+  EXPECT_FALSE(check_snapshot_linearizable({scan_op(0, {0}, 0, 10)}, 2));
+  EXPECT_FALSE(
+      check_snapshot_linearizable({update_op(5, 1, 0, 10)}, 2));
+}
+
+}  // namespace
+}  // namespace gqs

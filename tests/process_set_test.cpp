@@ -1,0 +1,168 @@
+#include "graph/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gqs {
+namespace {
+
+TEST(ProcessSet, DefaultIsEmpty) {
+  process_set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.mask(), 0u);
+}
+
+TEST(ProcessSet, InitializerList) {
+  process_set s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(ProcessSet, InsertErase) {
+  process_set s;
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+  s.insert(3);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+  s.erase(3);
+  EXPECT_TRUE(s.empty());
+  s.erase(3);  // idempotent
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ProcessSet, FullUniverse) {
+  process_set s = process_set::full(4);
+  EXPECT_EQ(s.size(), 4);
+  for (process_id p = 0; p < 4; ++p) EXPECT_TRUE(s.contains(p));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(ProcessSet, FullOf64) {
+  process_set s = process_set::full(64);
+  EXPECT_EQ(s.size(), 64);
+  EXPECT_TRUE(s.contains(63));
+}
+
+TEST(ProcessSet, FullOfZeroIsEmpty) {
+  EXPECT_TRUE(process_set::full(0).empty());
+}
+
+TEST(ProcessSet, Singleton) {
+  process_set s = process_set::singleton(7);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(ProcessSet, OutOfRangeThrows) {
+  process_set s;
+  EXPECT_THROW(s.insert(64), std::out_of_range);
+  EXPECT_THROW(s.contains(64), std::out_of_range);
+  EXPECT_THROW(process_set::full(65), std::out_of_range);
+  EXPECT_THROW(process_set::singleton(64), std::out_of_range);
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  process_set a{0, 1, 2};
+  process_set b{2, 3};
+  EXPECT_EQ((a | b), (process_set{0, 1, 2, 3}));
+  EXPECT_EQ((a & b), process_set{2});
+  EXPECT_EQ((a - b), (process_set{0, 1}));
+  EXPECT_EQ((b - a), process_set{3});
+}
+
+TEST(ProcessSet, CompoundAssignment) {
+  process_set a{0, 1};
+  a |= process_set{2};
+  EXPECT_EQ(a, (process_set{0, 1, 2}));
+  a &= process_set{1, 2};
+  EXPECT_EQ(a, (process_set{1, 2}));
+  a -= process_set{1};
+  EXPECT_EQ(a, process_set{2});
+}
+
+TEST(ProcessSet, SubsetSuperset) {
+  process_set a{1, 2};
+  process_set b{0, 1, 2, 3};
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(b.is_superset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(process_set{}.is_subset_of(a));
+}
+
+TEST(ProcessSet, Intersects) {
+  EXPECT_TRUE((process_set{0, 1}).intersects(process_set{1, 2}));
+  EXPECT_FALSE((process_set{0, 1}).intersects(process_set{2, 3}));
+  EXPECT_FALSE(process_set{}.intersects(process_set{0}));
+}
+
+TEST(ProcessSet, ComplementIn) {
+  process_set a{0, 2};
+  EXPECT_EQ(a.complement_in(4), (process_set{1, 3}));
+  EXPECT_EQ(a.complement_in(3), process_set{1});
+}
+
+TEST(ProcessSet, First) {
+  EXPECT_EQ((process_set{3, 5}).first(), 3u);
+  EXPECT_EQ(process_set::singleton(63).first(), 63u);
+  EXPECT_THROW(process_set{}.first(), std::logic_error);
+}
+
+TEST(ProcessSet, IterationInOrder) {
+  process_set s{5, 1, 9, 0};
+  std::vector<process_id> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<process_id>{0, 1, 5, 9}));
+}
+
+TEST(ProcessSet, IterationOfEmpty) {
+  process_set s;
+  EXPECT_EQ(s.begin(), s.end());
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ(process_set{}.to_string(), "{}");
+  EXPECT_EQ((process_set{0, 2}).to_string(), "{0, 2}");
+}
+
+TEST(ProcessSet, OrderingByMask) {
+  EXPECT_LT(process_set{0}, process_set{1});
+  std::set<process_set> ordered{process_set{2}, process_set{0}};
+  EXPECT_EQ(ordered.begin()->first(), 0u);
+}
+
+TEST(ProcessSet, HashDistinguishes) {
+  process_set_hash h;
+  EXPECT_NE(h(process_set{0}), h(process_set{1}));
+  EXPECT_EQ(h(process_set{0, 3}), h(process_set{3, 0}));
+}
+
+class ProcessSetSizeSweep : public ::testing::TestWithParam<process_id> {};
+
+TEST_P(ProcessSetSizeSweep, FullSizeMatchesN) {
+  const process_id n = GetParam();
+  EXPECT_EQ(process_set::full(n).size(), static_cast<int>(n));
+}
+
+TEST_P(ProcessSetSizeSweep, ComplementPartitionsUniverse) {
+  const process_id n = GetParam();
+  if (n == 0) return;
+  process_set s;
+  for (process_id p = 0; p < n; p += 2) s.insert(p);
+  const process_set c = s.complement_in(n);
+  EXPECT_EQ((s | c), process_set::full(n));
+  EXPECT_TRUE((s & c).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProcessSetSizeSweep,
+                         ::testing::Values(0, 1, 2, 7, 31, 32, 63, 64));
+
+}  // namespace
+}  // namespace gqs

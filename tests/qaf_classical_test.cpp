@@ -1,0 +1,194 @@
+#include "quorum/qaf_classical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/factories.hpp"
+#include "qaf_worlds.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+namespace {
+
+using namespace sim_literals;
+using testing::classical_world;
+using testing::insert_update;
+using testing::int_set;
+
+quorum_config majority_config(process_id n, int k) {
+  return quorum_config::of(threshold_quorum_system(n, k));
+}
+
+TEST(QuorumConfig, ValidationRejectsEmpty) {
+  EXPECT_THROW((quorum_config{{}, {process_set{0}}}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((quorum_config{{process_set{}}, {process_set{0}}}.validate()),
+               std::invalid_argument);
+}
+
+TEST(QuorumConfig, CoveredQuorum) {
+  quorum_family family = {process_set{0, 1}, process_set{2}};
+  EXPECT_EQ(covered_quorum(family, process_set{0, 1, 3}),
+            (process_set{0, 1}));
+  EXPECT_EQ(covered_quorum(family, process_set{2, 3}), process_set{2});
+  EXPECT_EQ(covered_quorum(family, process_set{0, 3}), std::nullopt);
+}
+
+TEST(ClassicalQaf, GetReturnsInitialStates) {
+  classical_world w(3, fault_plan::none(3), 1, {}, majority_config(3, 1),
+                    int_set{});
+  std::optional<std::vector<int_set>> result;
+  w.nodes[0]->quorum_get([&](std::vector<int_set> states) {
+    result = std::move(states);
+  });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return result.has_value(); },
+                                        1_s));
+  // Read quorums have size n − k = 2; all states initial (empty).
+  ASSERT_EQ(result->size(), 2u);
+  for (const auto& s : *result) EXPECT_TRUE(s.empty());
+}
+
+TEST(ClassicalQaf, SetThenGetObservesUpdate) {
+  classical_world w(3, fault_plan::none(3), 2, {}, majority_config(3, 1),
+                    int_set{});
+  bool set_done = false;
+  w.nodes[0]->quorum_set(insert_update(7), [&] { set_done = true; });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return set_done; }, 1_s));
+
+  std::optional<std::vector<int_set>> result;
+  w.nodes[1]->quorum_get([&](std::vector<int_set> states) {
+    result = std::move(states);
+  });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return result.has_value(); },
+                                        2_s));
+  // Real-time ordering: at least one returned state incorporates 7.
+  bool seen = false;
+  for (const auto& s : *result) seen |= s.count(7) > 0;
+  EXPECT_TRUE(seen);
+}
+
+TEST(ClassicalQaf, LivenessUnderMaxCrashes) {
+  // n = 5, k = 2: two processes crash at time 0; ops at the remaining
+  // three still complete.
+  fault_plan faults = fault_plan::none(5);
+  faults.crash(3, 0);
+  faults.crash(4, 0);
+  classical_world w(5, std::move(faults), 3, {}, majority_config(5, 2),
+                    int_set{});
+  for (process_id p = 0; p < 3; ++p) {
+    bool done = false;
+    w.nodes[p]->quorum_set(insert_update(static_cast<int>(p)),
+                           [&] { done = true; });
+    ASSERT_TRUE(w.sim.run_until_condition([&] { return done; }, 10_s))
+        << "set at " << p;
+    std::optional<std::vector<int_set>> result;
+    w.nodes[p]->quorum_get([&](std::vector<int_set> states) {
+      result = std::move(states);
+    });
+    ASSERT_TRUE(w.sim.run_until_condition([&] { return result.has_value(); },
+                                          10_s))
+        << "get at " << p;
+  }
+}
+
+TEST(ClassicalQaf, ValidityOnlyIssuedUpdatesAppear) {
+  classical_world w(4, fault_plan::none(4), 4, {}, majority_config(4, 1),
+                    int_set{});
+  int completed = 0;
+  for (int x : {10, 20, 30})
+    w.nodes[static_cast<process_id>(x / 10 - 1)]->quorum_set(
+        insert_update(x), [&] { ++completed; });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return completed == 3; }, 5_s));
+  std::optional<std::vector<int_set>> result;
+  w.nodes[3]->quorum_get([&](std::vector<int_set> states) {
+    result = std::move(states);
+  });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return result.has_value(); },
+                                        10_s));
+  for (const auto& s : *result)
+    for (int v : s) EXPECT_TRUE(v == 10 || v == 20 || v == 30) << v;
+}
+
+TEST(ClassicalQaf, ConcurrentSettersAllComplete) {
+  classical_world w(5, fault_plan::none(5), 5, {}, majority_config(5, 2),
+                    int_set{});
+  int completed = 0;
+  for (process_id p = 0; p < 5; ++p)
+    w.nodes[p]->quorum_set(insert_update(static_cast<int>(p)),
+                           [&] { ++completed; });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return completed == 5; }, 10_s));
+  // A final get sees all five updates across the returned quorum states
+  // (every update reached a write quorum; read quorum intersects each).
+  std::optional<std::vector<int_set>> result;
+  w.nodes[0]->quorum_get([&](std::vector<int_set> states) {
+    result = std::move(states);
+  });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return result.has_value(); },
+                                        20_s));
+  int_set joined;
+  for (const auto& s : *result) joined.insert(s.begin(), s.end());
+  EXPECT_EQ(joined, (int_set{0, 1, 2, 3, 4}));
+}
+
+TEST(ClassicalQaf, PipelinedOpsFromCallback) {
+  // Callbacks may start the next operation immediately (as the register
+  // protocol does).
+  classical_world w(3, fault_plan::none(3), 6, {}, majority_config(3, 1),
+                    int_set{});
+  bool all_done = false;
+  w.nodes[0]->quorum_set(insert_update(1), [&] {
+    w.nodes[0]->quorum_get([&](std::vector<int_set> states) {
+      bool seen = false;
+      for (const auto& s : states) seen |= s.count(1) > 0;
+      EXPECT_TRUE(seen);
+      w.nodes[0]->quorum_set(insert_update(2), [&] { all_done = true; });
+    });
+  });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return all_done; }, 10_s));
+}
+
+TEST(ClassicalQaf, GetStuckUnderFigure1ChannelFailures) {
+  // The motivating failure of the request/response pattern (Example 3):
+  // under f1 every read quorum contains c (or the crashed d), and c can
+  // never hear a GET_REQ — so quorum_get at a never completes, even though
+  // quorum_set can (W1 = {a, b} is fine).
+  const auto fig = make_figure1();
+  classical_world w(4, fault_plan::from_pattern(fig.gqs.fps[0], 0), 7, {},
+                    quorum_config::of(fig.gqs), int_set{});
+  bool set_done = false, get_done = false;
+  w.nodes[0]->quorum_set(insert_update(1), [&] { set_done = true; });
+  w.nodes[0]->quorum_get([&](std::vector<int_set>) { get_done = true; });
+  w.sim.run_until(30_s);
+  EXPECT_TRUE(set_done) << "W1 = {a, b} is reachable: set should complete";
+  EXPECT_FALSE(get_done) << "no read quorum can answer a's GET_REQ";
+}
+
+class ClassicalSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+TEST_P(ClassicalSweep, SetGetRoundTrip) {
+  const auto [n, k, seed] = GetParam();
+  classical_world w(static_cast<process_id>(n), fault_plan::none(n), seed, {},
+                    majority_config(static_cast<process_id>(n), k), int_set{});
+  bool set_done = false;
+  w.nodes[0]->quorum_set(insert_update(99), [&] { set_done = true; });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return set_done; }, 10_s));
+  std::optional<std::vector<int_set>> result;
+  w.nodes[static_cast<process_id>(n - 1)]->quorum_get(
+      [&](std::vector<int_set> states) { result = std::move(states); });
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return result.has_value(); },
+                                        20_s));
+  bool seen = false;
+  for (const auto& s : *result) seen |= s.count(99) > 0;
+  EXPECT_TRUE(seen);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClassicalSweep,
+    ::testing::Combine(::testing::Values(3, 4, 5, 7),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0u, 1u, 2u)));
+
+}  // namespace
+}  // namespace gqs

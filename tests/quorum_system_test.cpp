@@ -1,0 +1,228 @@
+#include "core/quorum_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/factories.hpp"
+#include "core/random_systems.hpp"
+
+namespace gqs {
+namespace {
+
+constexpr process_id kA = 0, kB = 1, kC = 2, kD = 3;
+
+TEST(Availability, FAvailableRequiresCorrectness) {
+  failure_pattern f(3, process_set{2}, {});
+  EXPECT_TRUE(is_f_available(process_set{0, 1}, f));
+  EXPECT_FALSE(is_f_available(process_set{0, 2}, f));  // 2 is faulty
+}
+
+TEST(Availability, FAvailableRequiresStrongConnectivity) {
+  // With the relay process 2 crashed and the direct channels between 0 and
+  // 1 failed, {0, 1} is no longer strongly connected in G \ f.
+  failure_pattern g(3, process_set{2}, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(is_f_available(process_set{0, 1}, g));
+  // One direction sufficing is not enough either.
+  failure_pattern h(3, process_set{2}, {{0, 1}});
+  EXPECT_FALSE(is_f_available(process_set{0, 1}, h));
+}
+
+TEST(Availability, FAvailableRelaysThroughCorrectProcesses) {
+  // Direct channels between 0 and 1 both fail, but 2 relays.
+  failure_pattern f(3, {}, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(is_f_available(process_set{0, 1}, f));
+}
+
+TEST(Availability, EmptySetNotAvailable) {
+  failure_pattern f(3);
+  EXPECT_FALSE(is_f_available({}, f));
+}
+
+TEST(Availability, SingletonAvailableIfCorrect) {
+  failure_pattern f(3, process_set{1}, {});
+  EXPECT_TRUE(is_f_available(process_set{0}, f));
+  EXPECT_FALSE(is_f_available(process_set{1}, f));
+}
+
+TEST(Reachability, BasicDirectedPath) {
+  // Channels (1,0) and (0,1) fail: 1 can still reach 0 via 2? Channels
+  // (1,2) and (2,0) are reliable, so yes.
+  failure_pattern f(3, {}, {{1, 0}, {0, 1}});
+  EXPECT_TRUE(is_f_reachable_from(process_set{0}, process_set{1}, f));
+}
+
+TEST(Reachability, FailsWhenNoPath) {
+  // All channels into 0 fail.
+  failure_pattern f(3, {}, {{1, 0}, {2, 0}});
+  EXPECT_FALSE(is_f_reachable_from(process_set{0}, process_set{1}, f));
+  // 0 can still reach others.
+  EXPECT_TRUE(is_f_reachable_from(process_set{1, 2}, process_set{0}, f));
+}
+
+TEST(Reachability, RequiresCorrectMembers) {
+  failure_pattern f(3, process_set{2}, {});
+  EXPECT_FALSE(is_f_reachable_from(process_set{0, 2}, process_set{1}, f));
+  EXPECT_FALSE(is_f_reachable_from(process_set{0}, process_set{2}, f));
+}
+
+TEST(Reachability, EveryMemberMustReachEveryMember) {
+  // 4 processes; channels out of 3 all fail except none -> 3 reaches nobody.
+  failure_pattern f(4, {}, {{3, 0}, {3, 1}, {3, 2}});
+  EXPECT_FALSE(is_f_reachable_from(process_set{0, 1}, process_set{2, 3}, f));
+  EXPECT_TRUE(is_f_reachable_from(process_set{0, 1}, process_set{2}, f));
+}
+
+TEST(Reachability, SetReachesItselfWhenAvailable) {
+  failure_pattern f(3);
+  EXPECT_TRUE(is_f_reachable_from(process_set{0, 1}, process_set{0, 1}, f));
+}
+
+TEST(Consistency, DetectsDisjointPair) {
+  quorum_family reads = {process_set{0, 1}, process_set{2}};
+  quorum_family writes = {process_set{1, 2}};
+  EXPECT_TRUE(check_consistency(reads, writes));
+  writes.push_back(process_set{0});
+  const auto r = check_consistency(reads, writes);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("Consistency"), std::string::npos);
+}
+
+TEST(Consistency, EmptyFamiliesRejected) {
+  EXPECT_FALSE(check_consistency({}, {process_set{0}}));
+  EXPECT_FALSE(check_consistency({process_set{0}}, {}));
+}
+
+TEST(Figure1, IsGeneralizedQuorumSystem) {
+  const auto fig = make_figure1();
+  const auto result = check_generalized(fig.gqs);
+  EXPECT_TRUE(result.ok) << result.reason;
+}
+
+TEST(Figure1, Example7AvailabilityAndReachability) {
+  // Example 7: for each i, W_i is f_i-available and f_i-reachable from R_i.
+  const auto fig = make_figure1();
+  for (int i = 0; i < 4; ++i) {
+    const failure_pattern& f = fig.gqs.fps[i];
+    EXPECT_TRUE(is_f_available(fig.gqs.writes[i], f)) << "W" << i + 1;
+    EXPECT_TRUE(is_f_reachable_from(fig.gqs.writes[i], fig.gqs.reads[i], f))
+        << "W" << i + 1 << " from R" << i + 1;
+  }
+}
+
+TEST(Figure1, ReadQuorumsNotStronglyConnected) {
+  // The point of the example: no R_i is strongly connected under f_i.
+  const auto fig = make_figure1();
+  for (int i = 0; i < 4; ++i) {
+    const failure_pattern& f = fig.gqs.fps[i];
+    EXPECT_FALSE(is_f_available(fig.gqs.reads[i], f)) << "R" << i + 1;
+  }
+}
+
+TEST(Figure1, NotAClassicalQuorumSystem) {
+  const auto fig = make_figure1();
+  EXPECT_FALSE(check_classical(fig.gqs).ok);
+}
+
+TEST(Figure1, Example9UfSets) {
+  const auto fig = make_figure1();
+  const process_set expected[] = {
+      {kA, kB}, {kB, kC}, {kC, kD}, {kD, kA}};
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(compute_u_f(fig.gqs, fig.gqs.fps[i]), expected[i])
+        << "U_f" << i + 1;
+}
+
+TEST(Figure1, FindAvailablePair) {
+  const auto fig = make_figure1();
+  const auto pair = find_available_pair(fig.gqs, fig.gqs.fps[0]);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->write_quorum, (process_set{kA, kB}));
+  EXPECT_EQ(pair->read_quorum, (process_set{kA, kC}));
+}
+
+TEST(Threshold, ClassicalQuorumSystemChecks) {
+  // Example 6 for several (n, k): the threshold triple is a classical QS
+  // and hence also a generalized one.
+  for (process_id n : {3u, 4u, 5u, 6u, 7u}) {
+    for (int k = 0; k <= (static_cast<int>(n) - 1) / 2; ++k) {
+      const auto qs = threshold_quorum_system(n, k);
+      EXPECT_TRUE(check_classical(qs).ok) << "n=" << n << " k=" << k;
+      EXPECT_TRUE(check_generalized(qs).ok) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Threshold, MajorityQuorumsCoincide) {
+  // Example 6: for k = ⌊(n−1)/2⌋ and odd n, read and write quorums are both
+  // majorities.
+  const auto qs = threshold_quorum_system(5, 2);
+  for (const auto& r : qs.reads) EXPECT_EQ(r.size(), 3);
+  for (const auto& w : qs.writes) EXPECT_EQ(w.size(), 3);
+}
+
+TEST(Threshold, TooManyFailuresBreaksConsistencyOrAvailability) {
+  // n = 4, k = 2 (more than ⌊(n−1)/2⌋): read quorums of size 2 and write
+  // quorums of size 3 cannot form a quorum system — Consistency holds
+  // (2 + 3 > 4) but let's verify the classical check overall: with k = 2
+  // crashes, a write quorum of size 3 may not survive.
+  const auto fps = threshold_fail_prone_system(4, 2);
+  quorum_family reads = {process_set{0, 1}, process_set{2, 3}};
+  quorum_family writes = {process_set{0, 1, 2}};
+  generalized_quorum_system qs(fps, reads, writes);
+  EXPECT_FALSE(check_classical(qs).ok);
+}
+
+TEST(ClassicalEmbedding, ClassicalQsIsGeneralizedQs) {
+  // §3: a classical quorum system is a special case of a generalized one.
+  // Property-checked on random threshold instances.
+  for (process_id n : {3u, 5u, 7u}) {
+    const int k = (static_cast<int>(n) - 1) / 2;
+    const auto qs = threshold_quorum_system(n, k);
+    EXPECT_TRUE(check_generalized(qs).ok);
+    for (const failure_pattern& f : qs.fps) {
+      const process_set u = compute_u_f(qs, f);
+      // Without channel failures U_f is the set of all correct processes.
+      EXPECT_EQ(u, f.correct());
+    }
+  }
+}
+
+TEST(UF, EmptyWhenNoValidatingWrite) {
+  // A triple that fails Availability for its only pattern: write quorum
+  // contains a crashed process.
+  fail_prone_system fps(3);
+  fps.add(failure_pattern(3, process_set{2}, {}));
+  generalized_quorum_system qs(fps, {process_set{0, 1, 2}},
+                               {process_set{1, 2}});
+  EXPECT_TRUE(compute_u_f(qs, fps[0]).empty());
+  EXPECT_FALSE(check_generalized(qs).ok);
+}
+
+// Proposition 1 as a property test: for random systems admitting a GQS, the
+// union of validating write quorums is strongly connected in G \ f.
+class Proposition1Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Proposition1Sweep, ValidatingUnionStronglyConnected) {
+  std::mt19937_64 rng(GetParam());
+  random_system_params params;
+  params.n = 5;
+  params.patterns = 3;
+  const auto witness = random_gqs(params, rng);
+  if (!witness) GTEST_SKIP() << "no GQS found for this seed";
+  const auto& system = witness->system;
+  ASSERT_TRUE(check_generalized(system).ok);
+  for (const failure_pattern& f : system.fps) {
+    const process_set u = validating_write_union(system, f);
+    ASSERT_FALSE(u.empty());
+    EXPECT_TRUE(f.residual().strongly_connects(u));
+    const process_set u_f = compute_u_f(system, f);
+    EXPECT_TRUE(u.is_subset_of(u_f));
+    EXPECT_TRUE(f.residual().strongly_connects(u_f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition1Sweep, ::testing::Range(0u, 16u));
+
+}  // namespace
+}  // namespace gqs

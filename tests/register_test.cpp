@@ -1,0 +1,229 @@
+#include "register/atomic_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/factories.hpp"
+#include "lincheck/dependency_graph.hpp"
+#include "lincheck/wing_gong.hpp"
+#include "register_worlds.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+namespace {
+
+using namespace sim_literals;
+using testing::abd_register_world;
+using testing::figure1_register_world;
+using testing::gqs_register_world;
+
+constexpr process_id kA = 0, kB = 1, kC = 2;
+
+TEST(GqsRegister, WriteThenReadNoFailures) {
+  const auto fig = make_figure1();
+  gqs_register_world w(4, fault_plan::none(4), 1, {},
+                       quorum_config::of(fig.gqs), reg_state{},
+                       generalized_qaf_options{});
+  w.client.invoke_write(kA, 42);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(0); }, 60_s));
+  w.client.invoke_read(kB);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(1); }, 60_s));
+  EXPECT_EQ(w.client.history()[1].value, 42);
+  EXPECT_TRUE(check_linearizable(w.client.history()));
+  EXPECT_TRUE(check_dependency_graph(w.client.history()));
+}
+
+TEST(GqsRegister, ReadOfFreshRegisterReturnsInitial) {
+  auto w = figure1_register_world(0, 2);
+  w.client.invoke_read(kA);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(0); }, 60_s));
+  EXPECT_EQ(w.client.history()[0].value, 0);
+  EXPECT_EQ(w.client.history()[0].version, (reg_version{0, 0}));
+}
+
+TEST(GqsRegister, Example10ScenarioWorksUnderF1) {
+  // The paper's running scenario: operations invoked at a under f1, where
+  // no read quorum is strongly connected and c cannot be queried.
+  auto w = figure1_register_world(0, 3);
+  w.client.invoke_write(kA, 7);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(0); }, 120_s));
+  w.client.invoke_read(kA);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(1); }, 120_s));
+  EXPECT_EQ(w.client.history()[1].value, 7);
+  w.client.invoke_read(kB);  // the other U_f1 member sees it too
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(2); }, 120_s));
+  EXPECT_EQ(w.client.history()[2].value, 7);
+  EXPECT_TRUE(check_linearizable(w.client.history()));
+  EXPECT_TRUE(check_dependency_graph(w.client.history()));
+}
+
+TEST(GqsRegister, OperationsOutsideUfHang) {
+  // c under f1 is isolated from every write quorum: its ops never return.
+  auto w = figure1_register_world(0, 4);
+  w.client.invoke_read(kC);
+  w.client.invoke_write(kC, 9);
+  w.sim.run_until(60_s);
+  EXPECT_FALSE(w.client.complete(0));
+  EXPECT_FALSE(w.client.complete(1));
+  // History with the pending ops is still linearizable.
+  EXPECT_TRUE(check_linearizable(w.client.history()));
+}
+
+TEST(GqsRegister, MultiWriterVersionsAreUnique) {
+  auto w = figure1_register_world(0, 5);
+  w.client.invoke_write(kA, 1);
+  w.client.invoke_write(kB, 2);
+  ASSERT_TRUE(w.sim.run_until_condition(
+      [&] { return w.client.complete(0) && w.client.complete(1); }, 240_s));
+  const auto& h = w.client.history();
+  EXPECT_NE(h[0].version, h[1].version);
+  EXPECT_TRUE(check_dependency_graph(h));
+}
+
+TEST(AbdRegister, WorksUnderThresholdSystem) {
+  const auto qs = threshold_quorum_system(5, 2);
+  fault_plan faults = fault_plan::none(5);
+  faults.crash(3, 0);
+  faults.crash(4, 0);
+  abd_register_world w(5, std::move(faults), 6, {}, quorum_config::of(qs),
+                       reg_state{});
+  w.client.invoke_write(0, 11);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return w.client.complete(0); }, 60_s));
+  w.client.invoke_read(1);
+  w.client.invoke_read(2);
+  ASSERT_TRUE(w.sim.run_until_condition(
+      [&] { return w.client.all_complete(); }, 60_s));
+  EXPECT_EQ(w.client.history()[1].value, 11);
+  EXPECT_EQ(w.client.history()[2].value, 11);
+  EXPECT_TRUE(check_linearizable(w.client.history()));
+  EXPECT_TRUE(check_dependency_graph(w.client.history()));
+}
+
+TEST(AbdRegister, StuckUnderFigure1F1) {
+  // Experiment E6's qualitative claim: classical ABD cannot serve reads or
+  // writes under f1 (its get phase needs a whole read quorum to answer,
+  // and every read quorum contains the unreachable c or the crashed d).
+  const auto fig = make_figure1();
+  abd_register_world w(4, fault_plan::from_pattern(fig.gqs.fps[0], 0), 7, {},
+                       quorum_config::of(fig.gqs), reg_state{});
+  w.client.invoke_write(kA, 1);
+  w.client.invoke_read(kB);
+  w.sim.run_until(60_s);
+  EXPECT_FALSE(w.client.complete(0));
+  EXPECT_FALSE(w.client.complete(1));
+}
+
+TEST(GqsRegister, SequentialChainAcrossUfMembers) {
+  auto w = figure1_register_world(0, 8);
+  // a and b alternate writes and read back each other's values.
+  std::vector<reg_value> reads_seen;
+  int step = 0;
+  std::function<void()> advance = [&] {
+    switch (step++) {
+      case 0:
+        w.nodes[kA]->write(10, [&](reg_version) { advance(); });
+        break;
+      case 1:
+        w.nodes[kB]->read([&](reg_value v, reg_version) {
+          reads_seen.push_back(v);
+          advance();
+        });
+        break;
+      case 2:
+        w.nodes[kB]->write(20, [&](reg_version) { advance(); });
+        break;
+      case 3:
+        w.nodes[kA]->read([&](reg_value v, reg_version) {
+          reads_seen.push_back(v);
+          advance();
+        });
+        break;
+      default:
+        break;
+    }
+  };
+  w.sim.post(kA, advance);
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return step == 5; }, 600_s));
+  EXPECT_EQ(reads_seen, (std::vector<reg_value>{10, 20}));
+}
+
+// Random concurrent workloads over every Figure 1 pattern: linearizability
+// must hold for both checkers; ops at U_f members must all complete.
+class RegisterWorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(RegisterWorkloadSweep, ConcurrentOpsLinearizable) {
+  const auto [pattern, seed] = GetParam();
+  const auto fig = make_figure1();
+  const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+  auto w = figure1_register_world(pattern, seed);
+
+  std::mt19937_64 rng(seed * 977 + pattern);
+  std::vector<process_id> members(u_f.begin(), u_f.end());
+  std::uniform_int_distribution<int> val(1, 100);
+  std::bernoulli_distribution is_write(0.5);
+
+  // Three bursts of concurrent operations: one op per U_f member per burst
+  // (a process is a sequential client — concurrent ops come from
+  // *different* processes).
+  for (int burst = 0; burst < 3; ++burst) {
+    for (const process_id p : members) {
+      if (is_write(rng))
+        w.client.invoke_write(p, val(rng));
+      else
+        w.client.invoke_read(p);
+    }
+    ASSERT_TRUE(w.sim.run_until_condition(
+        [&] { return w.client.all_complete(); }, w.sim.now() + 600_s))
+        << "burst " << burst << " pattern " << pattern << " seed " << seed;
+  }
+  const auto& h = w.client.history();
+  const auto bb = check_linearizable(h);
+  EXPECT_TRUE(bb.linearizable) << bb.reason;
+  const auto wb = check_dependency_graph(h);
+  EXPECT_TRUE(wb.linearizable) << wb.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(PatternsAndSeeds, RegisterWorkloadSweep,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0u, 4u)));
+
+// The ABD baseline under threshold systems with random workloads: also
+// linearizable (both protocols share the Figure 4 skeleton).
+class AbdWorkloadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AbdWorkloadSweep, ConcurrentOpsLinearizable) {
+  const unsigned seed = GetParam();
+  const auto qs = threshold_quorum_system(3, 1);
+  abd_register_world w(3, fault_plan::none(3), seed, {},
+                       quorum_config::of(qs), reg_state{});
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> val(1, 50);
+  std::bernoulli_distribution is_write(0.5);
+  for (int burst = 0; burst < 4; ++burst) {
+    for (process_id p = 0; p < 3; ++p) {  // one op per (sequential) process
+      if (is_write(rng))
+        w.client.invoke_write(p, val(rng));
+      else
+        w.client.invoke_read(p);
+    }
+    ASSERT_TRUE(w.sim.run_until_condition(
+        [&] { return w.client.all_complete(); }, w.sim.now() + 60_s));
+  }
+  EXPECT_TRUE(check_linearizable(w.client.history()));
+  EXPECT_TRUE(check_dependency_graph(w.client.history()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbdWorkloadSweep, ::testing::Range(0u, 6u));
+
+}  // namespace
+}  // namespace gqs

@@ -1,0 +1,111 @@
+// soak_test — longer randomized end-to-end runs mixing all the objects.
+//
+// Each soak iteration drives the register, snapshot and consensus stacks
+// through multi-phase workloads under randomized schedules and mid-run
+// failure strikes, with every safety checker on. These runs are larger
+// than the per-feature tests and exist to shake out interactions the
+// focused tests cannot (e.g. gossip interleaving with view timers across
+// a strike).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lincheck/dependency_graph.hpp"
+#include "lincheck/wing_gong.hpp"
+#include "workload/worlds.hpp"
+
+namespace gqs {
+namespace {
+
+constexpr sim_time kBudget = 1800L * 1000 * 1000;
+
+class SoakSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SoakSweep, RegisterManyRoundsAcrossStrike) {
+  const unsigned seed = GetParam();
+  std::mt19937_64 rng(seed);
+  const auto fig = make_figure1();
+  const int pattern = static_cast<int>(seed % 4);
+  const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+  const sim_time strike = 200'000 + (seed % 3) * 150'000;
+
+  register_world<gqs_register_node> w(
+      4, fault_plan::from_pattern(fig.gqs.fps[pattern], strike), seed,
+      network_options{}, quorum_config::of(fig.gqs), reg_state{},
+      generalized_qaf_options{});
+
+  std::bernoulli_distribution is_write(0.6);
+  std::uniform_int_distribution<int> val(1, 500);
+
+  // 10 rounds of one-op-per-U_f-member; rounds may straddle the strike.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::size_t> batch;
+    for (process_id p : u_f) {
+      if (is_write(rng))
+        batch.push_back(w.client.invoke_write(p, val(rng)));
+      else
+        batch.push_back(w.client.invoke_read(p));
+    }
+    ASSERT_TRUE(w.sim.run_until_condition(
+        [&] {
+          for (std::size_t idx : batch)
+            if (!w.client.complete(idx)) return false;
+          return true;
+        },
+        w.sim.now() + kBudget))
+        << "round " << round << " seed " << seed;
+  }
+  ASSERT_LE(w.client.history().size(), 64u);
+  const auto bb = check_linearizable(w.client.history());
+  EXPECT_TRUE(bb.linearizable) << bb.reason;
+  const auto wb = check_dependency_graph(w.client.history());
+  EXPECT_TRUE(wb.linearizable) << wb.reason;
+}
+
+TEST_P(SoakSweep, SnapshotScanUpdateMix) {
+  const unsigned seed = GetParam();
+  const auto fig = make_figure1();
+  const int pattern = static_cast<int>((seed + 1) % 4);
+  const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+  snapshot_world w(fig.gqs,
+                   fault_plan::from_pattern(fig.gqs.fps[pattern], 0), seed);
+  std::mt19937_64 rng(seed * 7);
+  std::bernoulli_distribution is_scan(0.4);
+  for (int round = 0; round < 4; ++round) {
+    for (process_id p : u_f) {
+      if (is_scan(rng))
+        w.client.invoke_scan(p);
+      else
+        w.client.invoke_update(p, round * 10 + static_cast<int>(p));
+    }
+    ASSERT_TRUE(w.sim.run_until_condition(
+        [&] { return w.client.all_complete(); }, w.sim.now() + kBudget))
+        << "round " << round;
+  }
+  const auto check = check_snapshot_linearizable(w.client.history(), 4);
+  EXPECT_TRUE(check.linearizable) << check.reason;
+}
+
+TEST_P(SoakSweep, ConsensusFleetUnderLateGst) {
+  const unsigned seed = GetParam();
+  const auto fig = make_figure1();
+  const int pattern = static_cast<int>(seed % 4);
+  const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+  // Asynchronous prefix of up to 1 s; failures strike mid-prefix.
+  const sim_time gst = 300'000 + (seed % 4) * 200'000;
+  consensus_world w(fig.gqs,
+                    fault_plan::from_pattern(fig.gqs.fps[pattern], gst / 2),
+                    seed, consensus_world::partial_sync(gst));
+  std::int64_t v = 100;
+  for (process_id p : u_f) w.client.invoke_propose(p, v++);
+  ASSERT_TRUE(w.sim.run_until_condition(
+      [&] { return w.client.all_decided(u_f); }, 3600L * 1000 * 1000))
+      << "seed " << seed << " pattern " << pattern << " gst " << gst;
+  const auto safety = check_consensus(w.client.outcomes(), u_f);
+  EXPECT_TRUE(safety.linearizable) << safety.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakSweep, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace gqs

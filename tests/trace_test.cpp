@@ -1,0 +1,101 @@
+// Tests for the simulator's trace hook.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+namespace {
+
+using namespace sim_literals;
+
+struct probe_msg : message {
+  std::string debug_name() const override { return "probe"; }
+};
+
+class silent_node : public node {
+ public:
+  void on_message(process_id, const message_ptr&) override {}
+  using node::send;
+  using node::set_timer;
+};
+
+struct traced_world {
+  simulation sim;
+  std::vector<silent_node*> nodes;
+  std::vector<trace_event> events;
+
+  explicit traced_world(fault_plan faults, std::uint64_t seed = 1)
+      : sim(faults.system_size(), network_options{}, std::move(faults),
+            seed) {
+    for (process_id p = 0; p < sim.size(); ++p) {
+      auto n = std::make_unique<silent_node>();
+      nodes.push_back(n.get());
+      sim.set_node(p, std::move(n));
+    }
+    sim.set_trace([this](const trace_event& ev) { events.push_back(ev); });
+    sim.start();
+    sim.run_until(0);
+  }
+
+  std::size_t count(trace_event::kind k) const {
+    std::size_t n = 0;
+    for (const auto& ev : events) n += ev.what == k;
+    return n;
+  }
+};
+
+TEST(Trace, SendAndDeliverRecorded) {
+  traced_world w(fault_plan::none(2));
+  w.nodes[0]->send(1, make_message<probe_msg>());
+  w.sim.run_until(1_s);
+  ASSERT_EQ(w.count(trace_event::kind::send), 1u);
+  ASSERT_EQ(w.count(trace_event::kind::deliver), 1u);
+  EXPECT_EQ(w.events[0].from, 0u);
+  EXPECT_EQ(w.events[0].to, 1u);
+  EXPECT_EQ(w.events[0].label, "probe");
+  EXPECT_LE(w.events[0].at, w.events[1].at);  // send before deliver
+}
+
+TEST(Trace, ChannelDropRecorded) {
+  fault_plan faults = fault_plan::none(2);
+  faults.disconnect(0, 1, 0);
+  traced_world w(std::move(faults));
+  w.nodes[0]->send(1, make_message<probe_msg>());
+  w.sim.run_until(1_s);
+  EXPECT_EQ(w.count(trace_event::kind::send), 1u);
+  EXPECT_EQ(w.count(trace_event::kind::drop_channel), 1u);
+  EXPECT_EQ(w.count(trace_event::kind::deliver), 0u);
+}
+
+TEST(Trace, CrashDropRecorded) {
+  fault_plan faults = fault_plan::none(2);
+  faults.crash(1, 0);
+  traced_world w(std::move(faults));
+  w.nodes[0]->send(1, make_message<probe_msg>());
+  w.sim.run_until(1_s);
+  EXPECT_EQ(w.count(trace_event::kind::drop_crashed), 1u);
+}
+
+TEST(Trace, TimerRecorded) {
+  traced_world w(fault_plan::none(1));
+  w.nodes[0]->set_timer(3_ms);
+  w.sim.run_until(1_s);
+  ASSERT_EQ(w.count(trace_event::kind::timer), 1u);
+  for (const auto& ev : w.events)
+    if (ev.what == trace_event::kind::timer) {
+      EXPECT_EQ(ev.at, 3_ms);
+      EXPECT_TRUE(ev.label.empty());
+    }
+}
+
+TEST(Trace, SinkCanBeCleared) {
+  traced_world w(fault_plan::none(2));
+  w.sim.set_trace(nullptr);
+  w.nodes[0]->send(1, make_message<probe_msg>());
+  w.sim.run_until(1_s);
+  EXPECT_TRUE(w.events.empty());
+}
+
+}  // namespace
+}  // namespace gqs
