@@ -15,6 +15,8 @@
 // 0 violations; each ablation must show stale reads on some seeds —
 // demonstrating that both waits are necessary for Real-time ordering
 // (Theorem 3), not just sufficient machinery.
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "lincheck/wing_gong.hpp"
@@ -193,7 +195,7 @@ ablation_result run_disjoint(int seeds, bool use_get_cutoff,
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_ablation_clocks — are Figure 3's clock waits "
                "load-bearing?\n";
   print_heading(

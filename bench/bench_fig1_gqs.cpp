@@ -5,6 +5,8 @@
 // Example 9, and the tightness half of Example 9 (the variant F′ with
 // channel (a, b) also failing admits no GQS — verified both by the pruned
 // search and by exhaustive enumeration).
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "core/existence.hpp"
@@ -128,7 +130,7 @@ void example_9_tightness() {
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_fig1_gqs — paper Figure 1 and Examples 1-2, 7-9\n";
   example_1_and_2();
   example_7_and_8();

@@ -7,6 +7,8 @@
 // — the request/response pattern works whenever the fail-prone system
 // disallows channel failures — and the numbers show the usual quorum
 // scaling (message count grows with n; latency stays a few network RTTs).
+#include "bench_main.hpp"
+
 #include <iostream>
 #include <optional>
 
@@ -61,7 +63,7 @@ op_cost measure(process_id n, int k, bool sets, int ops,
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_fig2_classical_qaf — Figure 2 over threshold quorum "
                "systems (Examples 4/6)\n";
   print_heading(

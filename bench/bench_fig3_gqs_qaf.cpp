@@ -4,6 +4,8 @@
 // each Figure 1 failure pattern: quorum_get / quorum_set latency and
 // message cost at every U_f member, plus a gossip-period sweep showing the
 // latency/traffic trade-off of the periodic state propagation.
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "quorum/qaf_generalized.hpp"
@@ -52,7 +54,7 @@ cost measure(int pattern, process_id at, bool sets, int ops,
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_fig3_gqs_qaf — Figure 3 access functions under the "
                "Figure 1 patterns\n";
   const auto fig = make_figure1();

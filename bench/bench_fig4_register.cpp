@@ -11,6 +11,8 @@
 //     register completes everything;
 //   * under a crash-only threshold system both work and ABD is cheaper —
 //     the price of channel-failure tolerance is the gossip traffic.
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "lincheck/dependency_graph.hpp"
@@ -154,7 +156,7 @@ void experiment_e6() {
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_fig4_register — the Figure 4 atomic register\n";
   experiment_e5();
   experiment_e6();

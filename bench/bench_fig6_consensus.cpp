@@ -5,6 +5,8 @@
 // duration constant C, and a sweep of GST (how long the network stays
 // asynchronous). Safety (Agreement/Validity) and termination within U_f
 // are checked on every run.
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "workload/stats.hpp"
@@ -47,7 +49,7 @@ run_result run(int pattern, sim_time gst, consensus_options opts,
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_fig6_consensus — Figure 6 under partial synchrony\n";
 
   print_heading(

@@ -8,6 +8,8 @@
 //     failure a system can absorb before no GQS exists);
 //   * the canonical construction: whenever the search finds a witness,
 //     building (R, W) from tau(f) = U_f must reproduce a valid GQS.
+#include "bench_main.hpp"
+
 #include <chrono>
 #include <iostream>
 
@@ -31,7 +33,7 @@ double wall_us(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_lowerbound — Theorem 2 construction and existence "
                "search\n";
 

@@ -1,0 +1,10 @@
+// Shared entry point for the figure-regeneration benchmarks.
+//
+// Each bench_*.cpp defines bench_entry() instead of main(); the harness in
+// bench_main.cpp times the run and writes a JSON record to bench/out/
+// (override the directory with GQS_BENCH_OUT_DIR in the environment).
+#pragma once
+
+// Implemented by each benchmark translation unit. Returns a process exit
+// code; nonzero marks the run failed in the JSON record and the exit status.
+int bench_entry();

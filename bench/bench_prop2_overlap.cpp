@@ -11,6 +11,8 @@
 // view length); once v·C outgrows the total skew the overlap turns
 // positive and then grows by C per view, never to shrink again — exactly
 // the proposition.
+#include "bench_main.hpp"
+
 #include <algorithm>
 #include <iostream>
 #include <map>
@@ -18,7 +20,7 @@
 #include "workload/table.hpp"
 #include "workload/worlds.hpp"
 
-int main() {
+int bench_entry() {
   using namespace gqs;
   std::cout << "bench_prop2_overlap — Proposition 2 (view synchronizer "
                "overlap)\n";

@@ -5,6 +5,8 @@
 // healthy network and under every Figure 1 failure pattern. The paper
 // stops at single-decree consensus; this bench documents what the
 // composition (one Figure 6 instance per slot, multiplexed) costs.
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "smr/replicated_log.hpp"
@@ -69,7 +71,7 @@ smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_smr — replicated log over GQS consensus\n";
   const auto fig = make_figure1();
 

@@ -4,6 +4,8 @@
 // registers) and single-shot lattice agreement (built from snapshots).
 // Measures update/scan and propose latencies per Figure 1 pattern at U_f
 // members, with the safety checkers on.
+#include "bench_main.hpp"
+
 #include <iostream>
 
 #include "lincheck/object_checkers.hpp"
@@ -98,7 +100,7 @@ void lattice_costs() {
 
 }  // namespace
 
-int main() {
+int bench_entry() {
   std::cout << "bench_snapshot_lattice — Theorem 1's derived objects\n";
   snapshot_costs();
   lattice_costs();

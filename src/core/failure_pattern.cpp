@@ -59,7 +59,11 @@ std::string failure_pattern::to_string(
   first = true;
   for (const edge& e : faulty_channels_.edges()) {
     if (!first) out += ", ";
-    out += "(" + name(e.from) + "," + name(e.to) + ")";
+    out += '(';
+    out += name(e.from);
+    out += ',';
+    out += name(e.to);
+    out += ')';
     first = false;
   }
   out += "})";

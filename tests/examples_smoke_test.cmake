@@ -1,0 +1,9 @@
+# Registers a CTest smoke entry for an example binary: the test passes iff the
+# program exits 0. Included from examples/CMakeLists.txt so every demo listed
+# there is automatically kept runnable.
+function(gqs_add_example_smoke_test example_target)
+  add_test(NAME examples_smoke.${example_target} COMMAND ${example_target})
+  set_tests_properties(examples_smoke.${example_target} PROPERTIES
+    TIMEOUT 120
+    LABELS "smoke")
+endfunction()
