@@ -87,11 +87,15 @@ void example_9_uf() {
   const auto fig = make_figure1();
   text_table t({"pattern", "U_f (computed)", "U_f (paper)"});
   const char* expected[] = {"{a, b}", "{b, c}", "{c, d}", "{d, a}"};
-  for (int i = 0; i < 4; ++i)
-    t.add_row({"f" + std::to_string(i + 1),
-               name_set(compute_u_f(fig.gqs, fig.gqs.fps[i]), fig.names),
-               expected[i]});
+  std::uint64_t matches = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string computed =
+        name_set(compute_u_f(fig.gqs, fig.gqs.fps[i]), fig.names);
+    matches += computed == expected[i];
+    t.add_row({"f" + std::to_string(i + 1), computed, expected[i]});
+  }
   t.print();
+  gqs_bench::record("uf_matches_paper", matches);
 }
 
 void example_9_tightness() {
@@ -110,6 +114,9 @@ void example_9_tightness() {
              variant_witness ? "GQS found" : "no GQS",
              gqs_exists_exhaustive(variant) ? "GQS exists" : "no GQS"});
   t.print();
+  gqs_bench::record("base_admits_gqs", std::uint64_t{base_witness ? 1u : 0u});
+  gqs_bench::record("variant_admits_gqs",
+                    std::uint64_t{variant_witness ? 1u : 0u});
 
   std::cout << "\nExpected per Theorem 2: F admits a GQS, F' does not — so\n"
                "no object implementation can be obstruction-free anywhere\n"

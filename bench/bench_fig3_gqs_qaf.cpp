@@ -4,11 +4,15 @@
 // each Figure 1 failure pattern: quorum_get / quorum_set latency and
 // message cost at every U_f member, plus a gossip-period sweep showing the
 // latency/traffic trade-off of the periodic state propagation.
+//
+// Both grids — (pattern × U_f member × op) and the gossip sweep — fan out
+// across the experiment runner.
 #include "bench_main.hpp"
 
 #include <iostream>
 
 #include "quorum/qaf_generalized.hpp"
+#include "sim/runner.hpp"
 #include "workload/stats.hpp"
 #include "workload/table.hpp"
 #include "workload/worlds.hpp"
@@ -19,18 +23,13 @@ using namespace gqs;
 using int_state = std::int64_t;
 using qaf = generalized_qaf<int_state>;
 
-struct cost {
-  sample_summary latency_us;
-  double messages_per_op = 0;
-};
-
-cost measure(int pattern, process_id at, bool sets, int ops,
-             generalized_qaf_options opts, std::uint64_t seed) {
+run_result measure(int pattern, process_id at, bool sets, int ops,
+                   generalized_qaf_options opts, std::uint64_t seed) {
   const auto fig = make_figure1();
   component_world<qaf> w(4, fault_plan::from_pattern(fig.gqs.fps[pattern], 0),
                          seed, network_options{}, quorum_config::of(fig.gqs),
                          int_state{0}, opts);
-  std::vector<double> latencies;
+  run_result out;
   std::uint64_t messages = 0;
   for (int i = 0; i < ops; ++i) {
     const sim_time begin = w.sim.now();
@@ -44,12 +43,15 @@ cost measure(int pattern, process_id at, bool sets, int ops,
     if (!w.sim.run_until_condition([&] { return done; },
                                    begin + 600L * 1000 * 1000))
       break;
-    latencies.push_back(static_cast<double>(w.sim.now() - begin));
+    out.latencies_us.push_back(static_cast<double>(w.sim.now() - begin));
     messages += w.sim.metrics().messages_sent - sent_before;
   }
-  const double completed = static_cast<double>(latencies.size());
-  return {summarize(std::move(latencies)),
-          completed == 0 ? 0.0 : static_cast<double>(messages) / completed};
+  const double completed = static_cast<double>(out.latencies_us.size());
+  out.metrics = w.sim.metrics();
+  out.sim_end = w.sim.now();
+  out.stats["messages_per_op"] =
+      completed == 0 ? 0.0 : static_cast<double>(messages) / completed;
+  return out;
 }
 
 }  // namespace
@@ -58,36 +60,73 @@ int bench_entry() {
   std::cout << "bench_fig3_gqs_qaf — Figure 3 access functions under the "
                "Figure 1 patterns\n";
   const auto fig = make_figure1();
+  const experiment_runner runner;
+  gqs_bench::record("runner_threads", std::uint64_t{runner.threads()});
 
   print_heading(
       "Per-pattern op cost at each U_f member (15 ops each, gossip 5 ms; "
       "msgs/op include the ambient gossip during the op)");
-  text_table t({"pattern", "process", "op", "latency mean/p50/p95",
-                "msgs/op"});
-  for (int pattern = 0; pattern < 4; ++pattern) {
-    const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
-    for (process_id p : u_f) {
-      for (bool sets : {false, true}) {
-        const cost c = measure(pattern, p, sets, 15, {}, 7 + pattern);
-        t.add_row({"f" + std::to_string(pattern + 1), fig.names[p],
-                   sets ? "set" : "get", fmt_latency_summary(c.latency_us),
-                   fmt_double(c.messages_per_op, 1)});
+  {
+    struct cell_meta {
+      int pattern;
+      process_id p;
+      bool sets;
+    };
+    std::vector<cell_meta> meta;
+    std::vector<run_spec> specs;
+    for (int pattern = 0; pattern < 4; ++pattern) {
+      const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+      for (process_id p : u_f) {
+        for (bool sets : {false, true}) {
+          meta.push_back({pattern, p, sets});
+          specs.push_back({"f" + std::to_string(pattern + 1) + "/" +
+                               fig.names[p] + (sets ? "/set" : "/get"),
+                           [pattern, p, sets] {
+                             return measure(pattern, p, sets, 15, {},
+                                            7 + pattern);
+                           }});
+        }
       }
     }
+    const auto results = runner.run_all(specs);
+
+    text_table t({"pattern", "process", "op", "latency mean/p50/p95",
+                  "msgs/op"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const run_result& r = results[i];
+      t.add_row({"f" + std::to_string(meta[i].pattern + 1),
+                 fig.names[meta[i].p], meta[i].sets ? "set" : "get",
+                 fmt_latency_summary(summarize(r.latencies_us)),
+                 fmt_double(stat_or(r, "messages_per_op"), 1)});
+    }
+    t.print();
+    gqs_bench::record_json("patterns", to_json(aggregate(results)));
   }
-  t.print();
 
   print_heading("Gossip-period sweep under f1 at process a (quorum_get)");
-  text_table sweep({"gossip period", "get latency mean/p50/p95", "msgs/op"});
-  for (sim_time period_ms : {1, 2, 5, 10, 20, 50}) {
-    generalized_qaf_options opts;
-    opts.gossip_period = period_ms * 1000;
-    const cost c = measure(0, 0, false, 15, opts, 11);
-    sweep.add_row({std::to_string(period_ms) + " ms",
-                   fmt_latency_summary(c.latency_us),
-                   fmt_double(c.messages_per_op, 1)});
+  {
+    const sim_time periods_ms[] = {1, 2, 5, 10, 20, 50};
+    std::vector<run_spec> specs;
+    for (sim_time period_ms : periods_ms)
+      specs.push_back({"gossip" + std::to_string(period_ms) + "ms",
+                       [period_ms] {
+                         generalized_qaf_options opts;
+                         opts.gossip_period = period_ms * 1000;
+                         return measure(0, 0, false, 15, opts, 11);
+                       }});
+    const auto results = runner.run_all(specs);
+
+    text_table sweep(
+        {"gossip period", "get latency mean/p50/p95", "msgs/op"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const run_result& r = results[i];
+      sweep.add_row({std::to_string(periods_ms[i]) + " ms",
+                     fmt_latency_summary(summarize(r.latencies_us)),
+                     fmt_double(stat_or(r, "messages_per_op"), 1)});
+    }
+    sweep.print();
+    gqs_bench::record_json("gossip_sweep", to_json(aggregate(results)));
   }
-  sweep.print();
   std::cout << "\nShape check: get latency grows roughly linearly with the\n"
                "gossip period (the second wait of quorum_get is paced by\n"
                "gossip arrivals), while message cost per op shrinks.\n";

@@ -7,7 +7,10 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace {
 
@@ -51,7 +54,45 @@ std::filesystem::path out_dir() {
 #endif
 }
 
+// Extra record fields attached by the bench via gqs_bench::record*.
+// Values are stored pre-rendered as JSON.
+std::vector<std::pair<std::string, std::string>>& extra_fields() {
+  static std::vector<std::pair<std::string, std::string>> fields;
+  return fields;
+}
+
+void set_field(const std::string& key, std::string rendered) {
+  for (auto& [k, v] : extra_fields())
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  extra_fields().emplace_back(key, std::move(rendered));
+}
+
 }  // namespace
+
+namespace gqs_bench {
+
+void record(const std::string& key, double value) {
+  std::ostringstream out;
+  out << value;
+  set_field(key, out.str());
+}
+
+void record(const std::string& key, std::uint64_t value) {
+  set_field(key, std::to_string(value));
+}
+
+void record(const std::string& key, const std::string& value) {
+  set_field(key, "\"" + json_escape(value) + "\"");
+}
+
+void record_json(const std::string& key, const std::string& raw_json) {
+  set_field(key, raw_json);
+}
+
+}  // namespace gqs_bench
 
 int main(int, char** argv) {
   const std::string name = bench_name(argv[0]);
@@ -84,6 +125,8 @@ int main(int, char** argv) {
         << "  \"exit_code\": " << exit_code;
     if (!error.empty())
       out << ",\n  \"error\": \"" << json_escape(error) << "\"";
+    for (const auto& [key, rendered] : extra_fields())
+      out << ",\n  \"" << json_escape(key) << "\": " << rendered;
     out << "\n}\n";
   } else {
     std::cerr << name << ": cannot write " << record << "\n";

@@ -14,6 +14,7 @@
 #include "bench_main.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <map>
 
@@ -47,7 +48,17 @@ int bench_entry() {
     sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
   }
   sim.start();
+  const auto wall_begin = std::chrono::steady_clock::now();
   sim.run_until(10L * 1000 * 1000);  // 10 s
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_begin)
+                            .count();
+  gqs_bench::record("events_processed", sim.metrics().events_processed);
+  gqs_bench::record("events_per_sec",
+                    wall_s > 0 ? static_cast<double>(
+                                     sim.metrics().events_processed) /
+                                     wall_s
+                               : 0);
 
   std::map<process_id, std::map<std::uint64_t, sim_time>> enter;
   std::uint64_t max_common_view = UINT64_MAX;
@@ -59,6 +70,7 @@ int bench_entry() {
 
   text_table t({"view v", "view length v*C", "latest entry", "earliest exit",
                 "overlap"});
+  std::uint64_t first_positive = 0;
   for (std::uint64_t v = 1; v + 1 <= max_common_view && v <= 16; ++v) {
     sim_time latest_entry = 0;
     sim_time earliest_exit = INT64_MAX;
@@ -68,11 +80,13 @@ int bench_entry() {
     }
     const sim_time overlap =
         std::max<sim_time>(0, earliest_exit - latest_entry);
+    if (overlap > 0 && first_positive == 0) first_positive = v;
     t.add_row({std::to_string(v),
                fmt_ms(static_cast<sim_time>(v) * view_unit),
                fmt_ms(latest_entry), fmt_ms(earliest_exit), fmt_ms(overlap)});
   }
   t.print();
+  gqs_bench::record("first_positive_overlap_view", first_positive);
   std::cout << "\nShape check: views shorter than the 150 ms total skew have\n"
                "zero or small overlap; once v*C outgrows the skew, overlap\n"
                "= v*C - 150 ms and grows by C per view, unboundedly — any\n"

@@ -5,10 +5,14 @@
 // healthy network and under every Figure 1 failure pattern. The paper
 // stops at single-decree consensus; this bench documents what the
 // composition (one Figure 6 instance per slot, multiplexed) costs.
+//
+// The five scenarios are independent simulations and run concurrently
+// through the experiment runner.
 #include "bench_main.hpp"
 
 #include <iostream>
 
+#include "sim/runner.hpp"
 #include "smr/replicated_log.hpp"
 #include "workload/stats.hpp"
 #include "workload/table.hpp"
@@ -18,15 +22,11 @@ namespace {
 
 using namespace gqs;
 
-struct smr_run {
-  bool completed = false;
-  sample_summary commit_us;
-  std::size_t prefix_a = 0;  // committed prefix at the first U_f member
-};
-
-smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
-            process_set submitters, int commands, std::uint64_t seed) {
-  smr_run out;
+run_result run(const generalized_quorum_system& gqs, const failure_pattern* f,
+               process_set submitters, int commands, std::uint64_t seed) {
+  run_result out;
+  out.stats["completed"] = 0;
+  out.stats["prefix"] = 0;
   simulation sim(gqs.system_size(), consensus_world::partial_sync(),
                  f ? fault_plan::from_pattern(*f, 0)
                    : fault_plan::none(gqs.system_size()),
@@ -42,7 +42,6 @@ smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
   sim.start();
   sim.run_until(0);
 
-  std::vector<double> commit_times;
   std::vector<process_id> members(submitters.begin(), submitters.end());
   for (int i = 0; i < commands; ++i) {
     const process_id at = members[i % members.size()];
@@ -52,12 +51,13 @@ smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
       replicas[at]->submit(i + 1, [&](std::size_t) { done = true; });
     });
     if (!sim.run_until_condition([&] { return done; },
-                                 begin + 1800L * 1000 * 1000))
+                                 begin + 1800L * 1000 * 1000)) {
+      out.metrics = sim.metrics();
+      out.sim_end = sim.now();
       return out;
-    commit_times.push_back(static_cast<double>(sim.now() - begin));
+    }
+    out.latencies_us.push_back(static_cast<double>(sim.now() - begin));
   }
-  out.completed = true;
-  out.commit_us = summarize(std::move(commit_times));
   // Let passive learning drain so the prefix reflects all decisions.
   sim.run_until_condition(
       [&] {
@@ -65,7 +65,11 @@ smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
                static_cast<std::size_t>(commands);
       },
       sim.now() + 60L * 1000 * 1000);
-  out.prefix_a = replicas[members.front()]->committed_prefix();
+  out.metrics = sim.metrics();
+  out.sim_end = sim.now();
+  out.stats["completed"] = 1;
+  out.stats["prefix"] =
+      static_cast<double>(replicas[members.front()]->committed_prefix());
   return out;
 }
 
@@ -74,25 +78,40 @@ smr_run run(const generalized_quorum_system& gqs, const failure_pattern* f,
 int bench_entry() {
   std::cout << "bench_smr — replicated log over GQS consensus\n";
   const auto fig = make_figure1();
+  const experiment_runner runner;
+  gqs_bench::record("runner_threads", std::uint64_t{runner.threads()});
 
   print_heading(
       "8 sequential commands, submitters rotating over U_f members "
       "(commit latency = submit → slot decided at submitter)");
+
+  std::vector<run_spec> specs;
+  std::vector<std::string> labels;
+  labels.push_back("healthy network");
+  specs.push_back({"healthy", [fig] {
+                     return run(fig.gqs, nullptr, process_set{0, 1}, 8, 1);
+                   }});
+  for (int pattern = 0; pattern < 4; ++pattern) {
+    labels.push_back("pattern f" + std::to_string(pattern + 1));
+    specs.push_back({"f" + std::to_string(pattern + 1), [fig, pattern] {
+                       const process_set u_f =
+                           compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+                       return run(fig.gqs, &fig.gqs.fps[pattern], u_f, 8,
+                                  2 + pattern);
+                     }});
+  }
+  const auto results = runner.run_all(specs);
+
   text_table t({"scenario", "completed", "commit latency mean/p50/p95",
                 "committed prefix"});
-  {
-    const auto r = run(fig.gqs, nullptr, process_set{0, 1}, 8, 1);
-    t.add_row({"healthy network", r.completed ? "8/8" : "stalled",
-               fmt_latency_summary(r.commit_us), std::to_string(r.prefix_a)});
-  }
-  for (int pattern = 0; pattern < 4; ++pattern) {
-    const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
-    const auto r = run(fig.gqs, &fig.gqs.fps[pattern], u_f, 8, 2 + pattern);
-    t.add_row({"pattern f" + std::to_string(pattern + 1),
-               r.completed ? "8/8" : "stalled",
-               fmt_latency_summary(r.commit_us), std::to_string(r.prefix_a)});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const run_result& r = results[i];
+    t.add_row({labels[i], stat_or(r, "completed") == 1 ? "8/8" : "stalled",
+               fmt_latency_summary(summarize(r.latencies_us)),
+               fmt_double(stat_or(r, "prefix"), 0)});
   }
   t.print();
+  gqs_bench::record_json("scenarios", to_json(aggregate(results)));
   std::cout
       << "\nShape check: every command commits and the submitters'\n"
          "prefixes reach all 8 commands. Commit latency grows for later\n"

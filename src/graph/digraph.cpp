@@ -6,14 +6,23 @@
 namespace gqs {
 
 digraph::digraph(process_id n)
-    : n_(n), present_(process_set::full(n)), out_(n, 0) {}
+    : n_(n), present_(process_set::full(n)), out_(n, 0), in_(n, 0) {}
 
 digraph digraph::complete(process_id n) {
   digraph g(n);
   const std::uint64_t all = process_set::full(n).mask();
-  for (process_id v = 0; v < n; ++v)
+  for (process_id v = 0; v < n; ++v) {
     g.out_[v] = all & ~(std::uint64_t{1} << v);
+    g.in_[v] = g.out_[v];
+  }
   return g;
+}
+
+void digraph::rebuild_in() {
+  in_.assign(n_, 0);
+  for (process_id u = 0; u < n_; ++u)
+    for (process_set succ(out_[u]); process_id v : succ)
+      in_[v] |= std::uint64_t{1} << u;
 }
 
 void digraph::check_vertex(process_id v) const {
@@ -32,12 +41,14 @@ void digraph::add_edge(process_id from, process_id to) {
   check_vertex(to);
   if (from == to) throw std::invalid_argument("digraph: self-loop");
   out_[from] |= std::uint64_t{1} << to;
+  in_[to] |= std::uint64_t{1} << from;
 }
 
 void digraph::remove_edge(process_id from, process_id to) {
   check_vertex(from);
   check_vertex(to);
   out_[from] &= ~(std::uint64_t{1} << to);
+  in_[to] &= ~(std::uint64_t{1} << from);
 }
 
 bool digraph::has_edge(process_id from, process_id to) const {
@@ -55,11 +66,8 @@ process_set digraph::out_neighbors(process_id v) const {
 
 process_set digraph::in_neighbors(process_id v) const {
   check_vertex(v);
-  process_set in;
-  if (!present_.contains(v)) return in;
-  for (process_id u : present_)
-    if ((out_[u] >> v) & 1u) in.insert(u);
-  return in;
+  if (!present_.contains(v)) return {};
+  return process_set(in_[v]) & present_;
 }
 
 std::vector<edge> digraph::edges() const {
@@ -76,7 +84,10 @@ void digraph::remove_vertices(process_set victims) {
 void digraph::remove_edges_of(const digraph& other) {
   if (other.vertex_count() != n_)
     throw std::invalid_argument("digraph: edge-set size mismatch");
-  for (process_id v = 0; v < n_; ++v) out_[v] &= ~other.out_[v];
+  for (process_id v = 0; v < n_; ++v) {
+    out_[v] &= ~other.out_[v];
+    in_[v] &= ~other.in_[v];
+  }
 }
 
 process_set digraph::reachable_from(process_id v) const {
@@ -97,11 +108,19 @@ process_set digraph::reachable_from(process_id v) const {
 
 process_set digraph::reaching(process_id v) const {
   check_vertex(v);
-  process_set result;
-  if (!present_.contains(v)) return result;
-  for (process_id u : present_)
-    if (reachable_from(u).contains(v)) result.insert(u);
-  return result;
+  if (!present_.contains(v)) return {};
+  // Backward BFS over the reverse adjacency masks.
+  std::uint64_t visited = std::uint64_t{1} << v;
+  std::uint64_t frontier = visited;
+  const std::uint64_t live = present_.mask();
+  while (frontier != 0) {
+    std::uint64_t next = 0;
+    for (process_set f(frontier); auto u : f) next |= in_[u];
+    next &= live & ~visited;
+    visited |= next;
+    frontier = next;
+  }
+  return process_set(visited);
 }
 
 bool digraph::reaches_all(process_id source, process_set targets) const {
@@ -226,6 +245,7 @@ digraph digraph::transitive_closure() const {
     }
     closure.out_[v] = reach.mask();
   }
+  closure.rebuild_in();
   return closure;
 }
 

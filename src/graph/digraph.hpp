@@ -55,9 +55,10 @@ class digraph {
   void remove_edge(process_id from, process_id to);
   bool has_edge(process_id from, process_id to) const;
 
-  /// Successors of v among present vertices.
+  /// Successors of v among present vertices. O(1).
   process_set out_neighbors(process_id v) const;
-  /// Predecessors of v among present vertices.
+  /// Predecessors of v among present vertices. O(1) — a reverse adjacency
+  /// mask is maintained alongside the forward one.
   process_set in_neighbors(process_id v) const;
 
   /// All edges between present vertices, sorted.
@@ -114,11 +115,14 @@ class digraph {
 
  private:
   void check_vertex(process_id v) const;
+  void rebuild_in();  // recompute in_ from out_ (bulk edge rewrites)
 
   process_id n_ = 0;
   process_set present_;
   std::vector<std::uint64_t> out_;  // out_[v] = successor mask (may contain
                                     // absent vertices; masked on access)
+  std::vector<std::uint64_t> in_;   // in_[v] = predecessor mask, kept in
+                                    // lockstep with out_
 };
 
 }  // namespace gqs

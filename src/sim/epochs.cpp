@@ -1,0 +1,42 @@
+#include "sim/epochs.hpp"
+
+namespace gqs {
+
+connectivity_epochs::connectivity_epochs(const fault_plan& plan)
+    : n_(plan.system_size()) {
+  // Epoch boundaries: time 0 plus every strictly positive failure instant.
+  // Failures at or before 0 are already in effect throughout epoch 0.
+  std::vector<sim_time> starts = {0};
+  for (sim_time t : plan.change_times())
+    if (t > 0) starts.push_back(t);
+
+  epochs_.reserve(starts.size());
+  for (sim_time start : starts) {
+    epoch e;
+    e.start = start;
+    for (process_id p = 0; p < n_; ++p)
+      if (plan.alive_at(p, start)) e.alive.insert(p);
+    digraph channels(n_);
+    for (process_id u = 0; u < n_; ++u)
+      for (process_id v = 0; v < n_; ++v)
+        if (u != v && plan.channel_up_at(u, v, start))
+          channels.add_edge(u, v);
+    e.up.resize(n_);
+    for (process_id u = 0; u < n_; ++u)
+      e.up[u] = channels.out_neighbors(u).mask();
+    e.residual = std::move(channels);
+    e.residual.remove_vertices(e.alive.complement_in(n_));
+    e.reach.resize(n_);
+    for (process_id v = 0; v < n_; ++v)
+      e.reach[v] = e.residual.reachable_from(v);
+    epochs_.push_back(std::move(e));
+  }
+}
+
+std::size_t connectivity_epochs::epoch_scan(sim_time t) const {
+  std::size_t e = 0;
+  while (e + 1 < epochs_.size() && epochs_[e + 1].start <= t) ++e;
+  return e;
+}
+
+}  // namespace gqs

@@ -18,27 +18,56 @@ void flooding_node::flood_broadcast(message_ptr payload) {
   originate(to_all, std::move(payload));
 }
 
+bool flooding_node::mark_seen(process_id origin, std::uint64_t seq) {
+  if (seen_.size() <= origin) seen_.resize(system_size());
+  return seen_[origin].mark(seq);
+}
+
 void flooding_node::originate(process_id dest, message_ptr payload) {
+  // Resolve the unreachable-destination drop BEFORE consuming a sequence
+  // number: a seq that is never flooded would leave a permanent gap in
+  // every peer's dedup filter, pinning their out-of-order buffers
+  // forever. Monotone failures make the drop final either way.
+  if (dest != to_all && dest != id() &&
+      !sim().epochs().reachable(sim().current_epoch(), id()).contains(dest))
+    return;
   auto env = std::make_shared<const envelope>(id(), next_seq_++, dest,
                                               std::move(payload));
-  seen_.insert(key_of(env->origin, env->seq));
+  mark_seen(env->origin, env->seq);
   // Local delivery first (a process trivially "reaches" itself).
   if (dest == to_all || dest == id()) {
     sim().post(id(), [this, env] { on_deliver(env->origin, env->payload); });
   }
-  for (process_id q = 0; q < system_size(); ++q)
-    if (q != id()) send(q, env);
+  forward(env, id());
 }
 
 void flooding_node::handle(process_id from,
                            const std::shared_ptr<const envelope>& env) {
-  if (!seen_.insert(key_of(env->origin, env->seq)).second) return;
-  // Forward once to every other neighbor (not back to the immediate
-  // sender; duplicates are filtered by `seen_` anyway).
-  for (process_id q = 0; q < system_size(); ++q)
-    if (q != id() && q != from) send(q, env);
+  if (!mark_seen(env->origin, env->seq)) return;
+  // Forward once (not back to the immediate sender; duplicates are
+  // filtered by the receivers' dedup state anyway).
+  forward(env, from);
   if (env->dest == to_all || env->dest == id())
     on_deliver(env->origin, env->payload);
+}
+
+void flooding_node::forward(const std::shared_ptr<const envelope>& env,
+                            process_id skip) {
+  const connectivity_epochs& ep = sim().epochs();
+  const std::size_t e = sim().current_epoch();
+  // Early drop: reachability only shrinks across epochs, so a destination
+  // outside this process's current reachable set can never be reached by
+  // any copy forwarded from here, now or later.
+  if (env->dest != to_all && env->dest != id() &&
+      !ep.reachable(e, id()).contains(env->dest))
+    return;
+  // Forward only over up channels to live processes: a send on a downed
+  // channel is dropped at the channel, one to a crashed process is dropped
+  // at delivery, and a crashed process forwards nothing — skipping both
+  // changes no delivery.
+  process_set targets = ep.up_out_channels(e, id()) & ep.alive(e);
+  for (process_id q : targets)
+    if (q != skip) send(q, env);
 }
 
 }  // namespace gqs

@@ -8,17 +8,64 @@
 // payload reaches every process connected to its origin by a directed path
 // of correct channels.
 //
+// Two engine-level optimizations, both sound because failures are
+// monotone (a downed channel never comes back):
+//  * envelopes are forwarded only over channels that are up in the current
+//    connectivity epoch — a send on a downed channel is guaranteed to be
+//    dropped, so skipping it changes no delivery;
+//  * a point-to-point envelope whose destination is outside the current
+//    residual reachability of the forwarder is dropped early — it can
+//    never be delivered in this epoch or any later one.
+//
 // Protocols built on flooding_node use flood_send / flood_broadcast and
 // receive payloads through on_deliver(origin, payload); they never see the
 // envelopes.
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <set>
+#include <vector>
 
 #include "sim/simulation.hpp"
 
 namespace gqs {
+
+/// Duplicate filter over a dense sequence space with a high-water mark:
+/// every seq < low() has been seen, and only the (transiently sparse)
+/// out-of-order seqs >= low() are buffered. Memory is proportional to the
+/// reordering backlog — the gaps still in flight — not to the total number
+/// of sequences ever seen.
+class sequence_filter {
+ public:
+  /// Marks seq as seen. Returns true iff it was not seen before.
+  bool mark(std::uint64_t seq) {
+    if (seq < low_) return false;
+    if (seq == low_) {
+      ++low_;
+      auto it = pending_.begin();
+      while (it != pending_.end() && *it == low_) {
+        it = pending_.erase(it);
+        ++low_;
+      }
+      return true;
+    }
+    return pending_.insert(seq).second;
+  }
+
+  bool seen(std::uint64_t seq) const {
+    return seq < low_ || pending_.count(seq) != 0;
+  }
+
+  /// All seqs below this have been seen.
+  std::uint64_t low() const noexcept { return low_; }
+
+  /// Number of buffered out-of-order seqs (0 once the stream has no gaps).
+  std::size_t backlog() const noexcept { return pending_.size(); }
+
+ private:
+  std::uint64_t low_ = 0;
+  std::set<std::uint64_t> pending_;
+};
 
 class flooding_node : public node {
  public:
@@ -26,6 +73,16 @@ class flooding_node : public node {
   static constexpr process_id to_all = 0xffffffff;
 
   void on_message(process_id from, const message_ptr& m) final;
+
+  /// Total buffered out-of-order envelope seqs across all origins — the
+  /// dedup state that is *not* covered by a high-water mark. Stays flat
+  /// over time unless envelopes are permanently lost mid-stream (soak
+  /// tests assert this).
+  std::size_t dedup_backlog() const {
+    std::size_t total = 0;
+    for (const sequence_filter& f : seen_) total += f.backlog();
+    return total;
+  }
 
  protected:
   /// Sends payload to a single destination, routed around channel failures
@@ -54,13 +111,14 @@ class flooding_node : public node {
 
   void originate(process_id dest, message_ptr payload);
   void handle(process_id from, const std::shared_ptr<const envelope>& env);
-
-  static std::uint64_t key_of(process_id origin, std::uint64_t seq) {
-    return (static_cast<std::uint64_t>(origin) << 48) | (seq & 0xffffffffffff);
-  }
+  /// Forwards env to every neighbor worth reaching (see file comment),
+  /// except `skip` (the immediate sender, or this process on origination).
+  void forward(const std::shared_ptr<const envelope>& env, process_id skip);
+  /// Marks (origin, seq) seen; true iff it is new.
+  bool mark_seen(process_id origin, std::uint64_t seq);
 
   std::uint64_t next_seq_ = 0;
-  std::unordered_set<std::uint64_t> seen_;
+  std::vector<sequence_filter> seen_;  // indexed by origin
 };
 
 }  // namespace gqs

@@ -1,6 +1,7 @@
 // options.hpp — network timing model and fault-injection plan.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -99,6 +100,21 @@ class fault_plan {
   bool channel_up_at(process_id from, process_id to, sim_time t) const {
     const auto d = disconnect_time(from, to);
     return !d || t < *d;
+  }
+
+  /// Sorted, deduplicated instants at which connectivity changes (every
+  /// crash and disconnect time). Failures are monotone, so connectivity is
+  /// constant between consecutive change times (see sim/epochs.hpp).
+  std::vector<sim_time> change_times() const {
+    std::vector<sim_time> times;
+    for (const auto& c : crash_at_)
+      if (c) times.push_back(*c);
+    for (const auto& row : disconnect_at_)
+      for (const auto& d : row)
+        if (d) times.push_back(*d);
+    std::sort(times.begin(), times.end());
+    times.erase(std::unique(times.begin(), times.end()), times.end());
+    return times;
   }
 
  private:

@@ -1,0 +1,109 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace gqs {
+
+run_aggregate aggregate(const std::vector<run_result>& results) {
+  run_aggregate a;
+  sample_accumulator latencies;
+  for (const run_result& r : results) {
+    ++a.runs;
+    if (!r.ok) ++a.failed;
+    a.totals += r.metrics;
+    a.wall_ms += r.wall_ms;
+    latencies.add(r.latencies_us);
+  }
+  a.latency_us = latencies.summary();
+  if (a.wall_ms > 0)
+    a.events_per_sec = static_cast<double>(a.totals.events_processed) /
+                       (a.wall_ms / 1000.0);
+  return a;
+}
+
+std::string to_json(const run_aggregate& a) {
+  std::ostringstream out;
+  out << "{\"runs\": " << a.runs << ", \"failed\": " << a.failed
+      << ", \"events\": " << a.totals.events_processed
+      << ", \"messages_sent\": " << a.totals.messages_sent
+      << ", \"messages_delivered\": " << a.totals.messages_delivered
+      << ", \"latency_us\": {\"count\": " << a.latency_us.count
+      << ", \"mean\": " << a.latency_us.mean
+      << ", \"p50\": " << a.latency_us.p50
+      << ", \"p95\": " << a.latency_us.p95 << "}"
+      << ", \"wall_ms\": " << a.wall_ms
+      << ", \"events_per_sec\": " << a.events_per_sec << "}";
+  return out.str();
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t grid_seed(std::uint64_t base, std::size_t config,
+                        std::size_t plan, std::size_t rep) {
+  return splitmix64(splitmix64(splitmix64(base ^ config) ^ plan) ^ rep);
+}
+
+experiment_runner::experiment_runner(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    if (const char* env = std::getenv("GQS_RUNNER_THREADS"))
+      threads_ = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;
+}
+
+std::vector<run_result> experiment_runner::run_all(
+    const std::vector<run_spec>& specs) const {
+  std::vector<run_result> results(specs.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      const auto begin = std::chrono::steady_clock::now();
+      run_result r;
+      try {
+        r = specs[i].run();
+      } catch (const std::exception& e) {
+        r = run_result{};
+        r.ok = false;
+        r.error = e.what();
+      } catch (...) {
+        r = run_result{};
+        r.ok = false;
+        r.error = "unknown exception";
+      }
+      const auto end = std::chrono::steady_clock::now();
+      r.wall_ms =
+          std::chrono::duration<double, std::milli>(end - begin).count();
+      results[i] = std::move(r);
+    }
+  };
+
+  const std::size_t pool =
+      std::min<std::size_t>(threads_, specs.size() ? specs.size() : 1);
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) workers.emplace_back(worker);
+    for (std::thread& w : workers) w.join();
+  }
+  return results;
+}
+
+}  // namespace gqs

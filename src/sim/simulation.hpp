@@ -4,15 +4,24 @@
 // clock, and an event queue. All nondeterminism (message delays) is drawn
 // from a single seeded RNG, so a run is a pure function of
 // (protocol, options, fault plan, seed, invocation script).
+//
+// Engine: events are typed records (start / message-delivery / timer /
+// post) living in a slab with a free list; the pending-event queue holds
+// only {time, seq, slot} keys, popped in exact (time, seq) order by a
+// timing wheel (O(1) amortized — see event_wheel below). The hot loop
+// therefore performs no per-event allocation and copies no closures —
+// only `post` events carry a std::function, and it is moved, never
+// copied. Connectivity questions (who is alive, which channels are up)
+// are answered from precomputed per-epoch tables (sim/epochs.hpp).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <random>
 #include <vector>
 
+#include "sim/epochs.hpp"
 #include "sim/message.hpp"
 #include "sim/options.hpp"
 #include "sim/time.hpp"
@@ -29,7 +38,20 @@ struct sim_metrics {
   std::uint64_t dropped_receiver_crashed = 0;
   std::uint64_t timers_fired = 0;
   std::uint64_t events_processed = 0;
+
+  bool operator==(const sim_metrics&) const = default;
 };
+
+/// Component-wise accumulation (used by the experiment runner).
+inline sim_metrics& operator+=(sim_metrics& a, const sim_metrics& b) {
+  a.messages_sent += b.messages_sent;
+  a.messages_delivered += b.messages_delivered;
+  a.dropped_disconnected += b.dropped_disconnected;
+  a.dropped_receiver_crashed += b.dropped_receiver_crashed;
+  a.timers_fired += b.timers_fired;
+  a.events_processed += b.events_processed;
+  return a;
+}
 
 /// One network-level event for tracing/debugging.
 struct trace_event {
@@ -45,6 +67,8 @@ struct trace_event {
   process_id from = 0;
   process_id to = 0;
   std::string label;  ///< message::debug_name(), empty for timers
+
+  bool operator==(const trace_event&) const = default;
 };
 
 /// Receives every trace_event as it happens. Keep it cheap: it runs inside
@@ -73,6 +97,15 @@ class simulation {
   std::mt19937_64& rng() noexcept { return rng_; }
   const fault_plan& faults() const noexcept { return faults_; }
 
+  /// The precomputed connectivity tables of this run's fault plan.
+  const connectivity_epochs& epochs() const noexcept { return epochs_; }
+
+  /// Index of the epoch containing the current instant (cached; the clock
+  /// is monotone, so this is O(1) amortized).
+  std::size_t current_epoch() const {
+    return epoch_cursor_ = epochs_.epoch_at(now_, epoch_cursor_);
+  }
+
   /// Installs the protocol node for process p. Must be called for every
   /// process before start().
   void set_node(process_id p, std::unique_ptr<node> n);
@@ -96,7 +129,9 @@ class simulation {
 
   /// True at the current instant (used by nodes to self-check; a crashed
   /// node receives no events, so protocols normally need not ask).
-  bool alive(process_id p) const { return faults_.alive_at(p, now_); }
+  bool alive(process_id p) const {
+    return epochs_.alive(current_epoch(), p);
+  }
 
   // ---- node-facing API (called from within event handlers) ----
 
@@ -117,18 +152,88 @@ class simulation {
   void set_trace(trace_sink sink) { trace_ = std::move(sink); }
 
  private:
-  struct event {
-    sim_time at;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
+  enum class event_kind : std::uint8_t { start, deliver, timer, post };
+
+  /// A typed event in the slab. Only `post` carries a closure; the hot
+  /// deliver path carries just the shared message pointer.
+  struct event_record {
+    event_kind kind = event_kind::post;
+    process_id a = 0;  ///< deliver: sender; otherwise the acting process
+    process_id b = 0;  ///< deliver: receiver
+    int timer_id = 0;
+    message_ptr msg;
     std::function<void()> fn;
   };
-  struct event_later {
-    bool operator()(const event& a, const event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+
+  /// Heap key. seq is unique, so (at, seq) is a total order and FIFO among
+  /// same-time events — the pop order is therefore independent of the
+  /// heap's internal arrangement.
+  struct heap_entry {
+    sim_time at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct entry_later {
+    bool operator()(const heap_entry& x, const heap_entry& y) const {
+      return x.at != y.at ? x.at > y.at : x.seq > y.seq;
     }
   };
 
-  void schedule(sim_time at, std::function<void()> fn);
+  /// Timing-wheel event queue with exact (at, seq) pop order.
+  ///
+  /// A binary heap pays O(log n) branchy comparisons per operation — the
+  /// single hottest loop in the simulator. The wheel exploits the fact
+  /// that message delays are bounded: pending entries hash into one of
+  /// kBuckets time buckets of width 2^width_shift_ µs (append-only, O(1));
+  /// the bucket currently being drained is kept sorted descending so pops
+  /// come off the back in O(1); entries beyond the wheel horizon wait in a
+  /// small overflow heap (long timers only) and migrate in as the window
+  /// slides. Entry keys (at, seq) are a total order, so the pop sequence
+  /// is identical to a heap's — determinism is unaffected by the internal
+  /// arrangement.
+  class event_wheel {
+   public:
+    /// Sizes the buckets from the run's maximum message-delay bound; call
+    /// once before the first push.
+    void configure(sim_time max_delay_bound);
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+
+    /// The minimum pending entry. Precondition: !empty().
+    const heap_entry& front() const { return active_.back(); }
+
+    heap_entry pop();
+    void push(heap_entry e);
+
+   private:
+    void refill();            // activate the next nonempty bucket
+    void migrate_overflow();  // pull overflow entries inside the window
+    void activate();          // sort bucket[cursor_] into active_
+
+    std::size_t index_of(sim_time at) const {
+      return static_cast<std::size_t>(at >> width_shift_) & (kBuckets - 1);
+    }
+
+    static constexpr std::size_t kBuckets = 256;  // power of two
+
+    int width_shift_ = 0;     // bucket width = 2^width_shift_ µs
+    sim_time base_ = 0;       // start of the bucket active_ drains
+    std::size_t cursor_ = 0;  // its index
+    std::size_t size_ = 0;    // total pending entries
+    std::size_t in_buckets_ = 0;  // entries in buckets_ (not active/overflow)
+    std::vector<heap_entry> active_;  // sorted descending; min at the back
+    std::vector<std::vector<heap_entry>> buckets_{kBuckets};
+    std::vector<heap_entry> overflow_;  // binary min-heap (entry_later)
+  };
+
+  /// Claims a slab slot (reusing freed ones) and returns its index.
+  std::uint32_t alloc_record();
+  void push_entry(sim_time at, std::uint32_t slot);
+  heap_entry pop_entry();
+  /// Pops and dispatches the next event if one is due at or before
+  /// `horizon`; returns false when none is.
+  bool pop_and_dispatch(sim_time horizon);
   sim_time draw_delay();
   void emit_trace(trace_event::kind what, process_id from, process_id to,
                   const message* m) const;
@@ -136,15 +241,19 @@ class simulation {
   process_id n_;
   network_options net_;
   fault_plan faults_;
+  connectivity_epochs epochs_;
   std::mt19937_64 rng_;
   sim_time now_ = 0;
   std::uint64_t stamp_ = 0;
   std::uint64_t next_seq_ = 0;
   int next_timer_ = 0;
   bool started_ = false;
+  mutable std::size_t epoch_cursor_ = 0;
   sim_metrics metrics_;
   trace_sink trace_;
-  std::priority_queue<event, std::vector<event>, event_later> queue_;
+  std::vector<event_record> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  event_wheel wheel_;
   std::vector<std::unique_ptr<node>> nodes_;
 };
 

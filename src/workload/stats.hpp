@@ -20,6 +20,23 @@ struct sample_summary {
 /// Computes the summary; an empty sample yields all zeros.
 sample_summary summarize(std::vector<double> values);
 
+/// Accumulates samples across runs or grid cells (experiment runner,
+/// benches) and summarizes once at the end.
+class sample_accumulator {
+ public:
+  void add(double v) { values_.push_back(v); }
+  void add(const std::vector<double>& vs) {
+    values_.insert(values_.end(), vs.begin(), vs.end());
+  }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  const std::vector<double>& values() const noexcept { return values_; }
+  sample_summary summary() const { return summarize(values_); }
+
+ private:
+  std::vector<double> values_;
+};
+
 /// "mean / p50 / p95" rendered in milliseconds from microsecond samples.
 std::string fmt_latency_summary(const sample_summary& s);
 

@@ -309,6 +309,69 @@ TEST_P(DigraphRandomSweep, SccPartitionProperties) {
   }
 }
 
+// in_neighbors is answered from a reverse adjacency mask maintained in
+// lockstep with the forward one; brute force over out_neighbors must agree
+// after any interleaving of add/remove/bulk operations.
+TEST_P(DigraphRandomSweep, ReverseAdjacencyMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() + 5000);
+  std::bernoulli_distribution ed(0.3), rm(0.2);
+  const process_id n = 9;
+  digraph g(n);
+  auto check = [&](const char* stage) {
+    for (process_id v = 0; v < n; ++v) {
+      process_set brute;
+      for (process_id u : g.present())
+        if (g.has_edge(u, v)) brute.insert(u);
+      EXPECT_EQ(g.in_neighbors(v), brute) << stage << ", v=" << v;
+      // reaching() also rides the reverse masks: cross-check it.
+      if (g.is_present(v)) {
+        process_set reaching_brute;
+        for (process_id u : g.present())
+          if (g.reachable_from(u).contains(v)) reaching_brute.insert(u);
+        EXPECT_EQ(g.reaching(v), reaching_brute) << stage << ", v=" << v;
+      }
+    }
+  };
+
+  for (process_id u = 0; u < n; ++u)
+    for (process_id v = 0; v < n; ++v)
+      if (u != v && ed(rng)) g.add_edge(u, v);
+  check("after adds");
+
+  for (process_id u = 0; u < n; ++u)
+    for (process_id v = 0; v < n; ++v)
+      if (u != v && rm(rng)) g.remove_edge(u, v);
+  check("after removes");
+
+  digraph cut(n);
+  for (process_id u = 0; u < n; ++u)
+    for (process_id v = 0; v < n; ++v)
+      if (u != v && rm(rng)) cut.add_edge(u, v);
+  g.remove_edges_of(cut);
+  check("after remove_edges_of");
+
+  g.remove_vertices(process_set{1, 4});
+  check("after remove_vertices");
+
+  const digraph closure = g.transitive_closure();
+  for (process_id v = 0; v < n; ++v) {
+    if (!closure.is_present(v)) continue;
+    process_set brute;
+    for (process_id u : closure.present())
+      if (closure.has_edge(u, v)) brute.insert(u);
+    EXPECT_EQ(closure.in_neighbors(v), brute) << "closure, v=" << v;
+  }
+}
+
+TEST(Digraph, InNeighborsCompleteGraph) {
+  const digraph g = digraph::complete(5);
+  for (process_id v = 0; v < 5; ++v) {
+    process_set expected = process_set::full(5);
+    expected.erase(v);
+    EXPECT_EQ(g.in_neighbors(v), expected);
+  }
+}
+
 TEST_P(DigraphRandomSweep, ClosureMatchesReachability) {
   std::mt19937_64 rng(GetParam() + 1000);
   std::bernoulli_distribution ed(0.3);

@@ -1,0 +1,147 @@
+// Tests for the precomputed connectivity epochs (sim/epochs.hpp): the
+// tables must agree with fault_plan's per-query answers at every instant,
+// and reachability must shrink monotonically across epochs (the property
+// the flooding early-drop relies on).
+#include "sim/epochs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/factories.hpp"
+#include "sim/time.hpp"
+
+namespace gqs {
+namespace {
+
+using namespace sim_literals;
+
+fault_plan random_plan(std::mt19937_64& rng, process_id n) {
+  fault_plan plan(n);
+  std::uniform_int_distribution<sim_time> when(0, 50_ms);
+  std::bernoulli_distribution crash(0.3), cut(0.2);
+  for (process_id p = 0; p < n; ++p)
+    if (crash(rng)) plan.crash(p, when(rng));
+  for (process_id u = 0; u < n; ++u)
+    for (process_id v = 0; v < n; ++v)
+      if (u != v && cut(rng)) plan.disconnect(u, v, when(rng));
+  return plan;
+}
+
+TEST(Epochs, NoFailuresMeansOneEpoch) {
+  const connectivity_epochs ep(fault_plan::none(4));
+  EXPECT_EQ(ep.epoch_count(), 1u);
+  EXPECT_EQ(ep.epoch_start(0), 0);
+  EXPECT_EQ(ep.alive(0), process_set::full(4));
+  for (process_id u = 0; u < 4; ++u)
+    for (process_id v = 0; v < 4; ++v)
+      if (u != v) {
+        EXPECT_TRUE(ep.channel_up(0, u, v));
+      }
+  EXPECT_EQ(ep.reachable(0, 2), process_set::full(4));
+}
+
+TEST(Epochs, BoundariesAreTheChangeTimes) {
+  fault_plan plan = fault_plan::none(3);
+  plan.crash(0, 5_ms);
+  plan.disconnect(1, 2, 9_ms);
+  plan.disconnect(2, 1, 5_ms);  // same instant as the crash
+  const connectivity_epochs ep(plan);
+  ASSERT_EQ(ep.epoch_count(), 3u);
+  EXPECT_EQ(ep.epoch_start(0), 0);
+  EXPECT_EQ(ep.epoch_start(1), 5_ms);
+  EXPECT_EQ(ep.epoch_start(2), 9_ms);
+  EXPECT_EQ(ep.epoch_at(0), 0u);
+  EXPECT_EQ(ep.epoch_at(5_ms - 1), 0u);
+  EXPECT_EQ(ep.epoch_at(5_ms), 1u);
+  EXPECT_EQ(ep.epoch_at(9_ms), 2u);
+  EXPECT_EQ(ep.epoch_at(1_s), 2u);
+}
+
+TEST(Epochs, HintedLookupMatchesUnhinted) {
+  fault_plan plan = fault_plan::none(3);
+  plan.crash(1, 2_ms);
+  plan.disconnect(0, 2, 7_ms);
+  const connectivity_epochs ep(plan);
+  std::size_t hint = 0;
+  for (sim_time t = 0; t <= 10_ms; t += 500) {
+    hint = ep.epoch_at(t, hint);
+    EXPECT_EQ(hint, ep.epoch_at(t)) << "t=" << t;
+  }
+  // A stale (overshot) hint must still give the right answer.
+  EXPECT_EQ(ep.epoch_at(0, ep.epoch_count() - 1), 0u);
+}
+
+TEST(Epochs, TablesAgreeWithFaultPlanEverywhere) {
+  std::mt19937_64 rng(11);
+  for (int instance = 0; instance < 20; ++instance) {
+    const process_id n = 5;
+    const fault_plan plan = random_plan(rng, n);
+    const connectivity_epochs ep(plan);
+    // Probe every epoch boundary, a point inside each epoch, and beyond.
+    std::vector<sim_time> probes = {0, 1, 100_ms};
+    for (sim_time t : plan.change_times()) {
+      probes.push_back(t);
+      probes.push_back(t + 1);
+      if (t > 0) probes.push_back(t - 1);
+    }
+    for (sim_time t : probes) {
+      const std::size_t e = ep.epoch_at(t);
+      for (process_id p = 0; p < n; ++p)
+        EXPECT_EQ(ep.alive(e, p), plan.alive_at(p, t))
+            << "instance " << instance << " t=" << t << " p=" << p;
+      for (process_id u = 0; u < n; ++u)
+        for (process_id v = 0; v < n; ++v) {
+          if (u == v) continue;
+          EXPECT_EQ(ep.channel_up(e, u, v), plan.channel_up_at(u, v, t))
+              << "instance " << instance << " t=" << t << " (" << u << ","
+              << v << ")";
+        }
+    }
+  }
+}
+
+TEST(Epochs, ResidualMatchesReachabilityRows) {
+  std::mt19937_64 rng(23);
+  const fault_plan plan = random_plan(rng, 6);
+  const connectivity_epochs ep(plan);
+  for (std::size_t e = 0; e < ep.epoch_count(); ++e) {
+    const digraph& residual = ep.residual(e);
+    for (process_id v = 0; v < 6; ++v)
+      EXPECT_EQ(ep.reachable(e, v), residual.reachable_from(v))
+          << "epoch " << e << " v=" << v;
+  }
+}
+
+TEST(Epochs, ReachabilityShrinksMonotonically) {
+  std::mt19937_64 rng(37);
+  for (int instance = 0; instance < 20; ++instance) {
+    const fault_plan plan = random_plan(rng, 5);
+    const connectivity_epochs ep(plan);
+    for (std::size_t e = 0; e + 1 < ep.epoch_count(); ++e)
+      for (process_id v = 0; v < 5; ++v)
+        EXPECT_TRUE(ep.reachable(e + 1, v).is_subset_of(ep.reachable(e, v)))
+            << "instance " << instance << " epoch " << e << " v=" << v;
+  }
+}
+
+TEST(Epochs, FromPatternMatchesResidualGraph) {
+  // Once a Figure 1 pattern's failures strike (at t = 0), the epoch's
+  // residual graph is exactly the pattern's residual G \ f.
+  const auto fig = make_figure1();
+  for (int i = 0; i < 4; ++i) {
+    const failure_pattern& f = fig.gqs.fps[i];
+    const connectivity_epochs ep(fault_plan::from_pattern(f, 0));
+    ASSERT_EQ(ep.epoch_count(), 1u);
+    // Structural comparison: same present vertices, same edge set. (Plain
+    // operator== would also compare the masked-out adjacency of absent
+    // vertices, which the two constructions fill differently.)
+    EXPECT_EQ(ep.residual(0).present(), f.residual().present())
+        << "pattern " << i;
+    EXPECT_EQ(ep.residual(0).edges(), f.residual().edges())
+        << "pattern " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gqs

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "core/factories.hpp"
 #include "sim/time.hpp"
 
@@ -204,6 +207,100 @@ TEST(Flooding, ManyMessagesAllDeliveredOnce) {
       seen[r.value] = true;
     }
   }
+  // With nothing lost, every dedup stream is gap-free: the high-water
+  // marks cover everything and no out-of-order seqs stay buffered.
+  for (auto* n : w.nodes) EXPECT_EQ(n->dedup_backlog(), 0u);
+}
+
+TEST(SequenceFilter, MarksInOrder) {
+  sequence_filter f;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_TRUE(f.mark(s));
+    EXPECT_FALSE(f.mark(s));  // duplicate
+  }
+  EXPECT_EQ(f.low(), 100u);
+  EXPECT_EQ(f.backlog(), 0u);
+}
+
+TEST(SequenceFilter, OutOfOrderBuffersThenDrains) {
+  sequence_filter f;
+  EXPECT_TRUE(f.mark(3));
+  EXPECT_TRUE(f.mark(1));
+  EXPECT_FALSE(f.mark(3));
+  EXPECT_EQ(f.low(), 0u);
+  EXPECT_EQ(f.backlog(), 2u);
+  EXPECT_TRUE(f.mark(0));  // fills the gap: 0,1 drain; 3 stays buffered
+  EXPECT_EQ(f.low(), 2u);
+  EXPECT_EQ(f.backlog(), 1u);
+  EXPECT_TRUE(f.mark(2));  // drains the rest
+  EXPECT_EQ(f.low(), 4u);
+  EXPECT_EQ(f.backlog(), 0u);
+  EXPECT_FALSE(f.mark(1));  // below the high-water mark
+  EXPECT_TRUE(f.seen(3));
+  EXPECT_FALSE(f.seen(4));
+}
+
+TEST(SequenceFilter, BacklogBoundedByReordering) {
+  // Deliver 10k seqs in windows of 16 shuffled entries: the backlog never
+  // exceeds the window size, regardless of stream length.
+  sequence_filter f;
+  std::mt19937_64 rng(3);
+  std::vector<std::uint64_t> window;
+  std::size_t max_backlog = 0;
+  for (std::uint64_t base = 0; base < 10000; base += 16) {
+    window.clear();
+    for (std::uint64_t s = base; s < base + 16; ++s) window.push_back(s);
+    std::shuffle(window.begin(), window.end(), rng);
+    for (std::uint64_t s : window) {
+      EXPECT_TRUE(f.mark(s));
+      max_backlog = std::max(max_backlog, f.backlog());
+    }
+  }
+  EXPECT_EQ(f.low(), 10000u);
+  EXPECT_EQ(f.backlog(), 0u);
+  EXPECT_LE(max_backlog, 16u);
+}
+
+TEST(Flooding, EarlyDropSkipsDownedChannels) {
+  // With channel (0,1) down from the start, flooding no longer *attempts*
+  // the doomed direct transmission: no drop_channel events appear and the
+  // message count shrinks, while delivery (via 2) is unaffected.
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 1, 0);
+  flood_world w(3, std::move(faults));
+  w.nodes[0]->send_to(1, 11);
+  w.sim.run_until(1_s);
+  ASSERT_EQ(w.nodes[1]->delivered.size(), 1u);
+  EXPECT_EQ(w.sim.metrics().dropped_disconnected, 0u);
+}
+
+TEST(Flooding, EarlyDropUnreachableDestination) {
+  // 2 is unreachable from 0 (all channels into 2 are down): a flood_send
+  // to it dies at the source — nothing is ever transmitted.
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 2, 0);
+  faults.disconnect(1, 2, 0);
+  flood_world w(3, std::move(faults));
+  w.nodes[0]->send_to(2, 5);
+  w.sim.run_until(1_s);
+  EXPECT_TRUE(w.nodes[2]->delivered.empty());
+  EXPECT_EQ(w.sim.metrics().messages_sent, 0u);
+}
+
+TEST(Flooding, EarlyDropConsumesNoSequenceNumber) {
+  // Regression: an early-dropped origination must not burn a seq — a seq
+  // that is never flooded would be a permanent gap in every peer's dedup
+  // stream, making all later envelopes from that origin buffer forever.
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 2, 0);
+  faults.disconnect(1, 2, 0);
+  flood_world w(3, std::move(faults));
+  w.nodes[0]->send_to(2, 5);  // early-dropped at the source
+  for (int i = 0; i < 40; ++i) w.nodes[0]->broadcast_value(i);
+  w.sim.run_until(10_s);
+  EXPECT_EQ(w.nodes[1]->delivered.size(), 40u);
+  for (auto* n : w.nodes)
+    EXPECT_EQ(n->dedup_backlog(), 0u) << "gap pinned the dedup buffer";
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Tests for the parallel experiment runner (sim/runner.hpp): results must
+// be bit-identical for any thread count, land in spec order, capture cell
+// exceptions, and aggregate correctly.
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/factories.hpp"
+#include "lincheck/wing_gong.hpp"
+#include "sim/time.hpp"
+#include "workload/worlds.hpp"
+
+namespace gqs {
+namespace {
+
+using namespace sim_literals;
+
+/// Everything deterministic about a run_result (wall_ms excluded).
+void expect_same_result(const run_result& a, const run_result& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.sim_end, b.sim_end);
+  EXPECT_EQ(a.latencies_us, b.latencies_us);
+  EXPECT_EQ(a.stats, b.stats);
+}
+
+/// A real protocol cell: a register world driving writes+reads under a
+/// Figure 1 pattern. Returns per-op latencies and the final metrics.
+run_result register_cell(int pattern, std::uint64_t seed) {
+  const auto fig = make_figure1();
+  register_world<gqs_register_node> w(
+      4, fault_plan::from_pattern(fig.gqs.fps[pattern], 0), seed,
+      network_options{}, quorum_config::of(fig.gqs), reg_state{},
+      generalized_qaf_options{});
+  const process_set u_f = compute_u_f(fig.gqs, fig.gqs.fps[pattern]);
+  run_result out;
+  const process_id p = u_f.first();
+  for (int i = 0; i < 3; ++i) {
+    const sim_time begin = w.sim.now();
+    const std::size_t wi = w.client.invoke_write(p, 10 + i);
+    EXPECT_TRUE(w.sim.run_until_condition(
+        [&] { return w.client.complete(wi); }, begin + 600L * 1000 * 1000));
+    out.latencies_us.push_back(static_cast<double>(w.sim.now() - begin));
+  }
+  out.metrics = w.sim.metrics();
+  out.sim_end = w.sim.now();
+  out.stats["linearizable"] =
+      check_linearizable(w.client.history()).linearizable ? 1 : 0;
+  return out;
+}
+
+std::vector<run_spec> register_grid() {
+  std::vector<run_spec> specs;
+  for (int pattern = 0; pattern < 4; ++pattern)
+    for (std::size_t rep = 0; rep < 2; ++rep) {
+      const std::uint64_t seed = grid_seed(99, 0, pattern, rep);
+      specs.push_back({"f" + std::to_string(pattern + 1) + "/r" +
+                           std::to_string(rep),
+                       [pattern, seed] {
+                         return register_cell(pattern, seed);
+                       }});
+    }
+  return specs;
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  const auto r1 = experiment_runner(1).run_all(register_grid());
+  const auto r4 = experiment_runner(4).run_all(register_grid());
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_TRUE(r1[i].ok);
+    EXPECT_EQ(r1[i].stats.at("linearizable"), 1);
+    expect_same_result(r1[i], r4[i]);
+  }
+}
+
+TEST(Runner, RepeatedRunsIdentical) {
+  const experiment_runner runner(3);
+  const auto a = runner.run_all(register_grid());
+  const auto b = runner.run_all(register_grid());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) expect_same_result(a[i], b[i]);
+}
+
+TEST(Runner, ResultsInSpecOrder) {
+  std::vector<run_spec> specs;
+  for (int i = 0; i < 20; ++i)
+    specs.push_back({"cell" + std::to_string(i), [i] {
+                       run_result r;
+                       r.stats["index"] = i;
+                       return r;
+                     }});
+  const auto results = experiment_runner(8).run_all(specs);
+  ASSERT_EQ(results.size(), 20u);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(results[i].stats.at("index"), i) << "cell " << i;
+}
+
+TEST(Runner, ExceptionsCapturedPerCell) {
+  std::vector<run_spec> specs;
+  specs.push_back({"ok", [] { return run_result{}; }});
+  specs.push_back(
+      {"throws", []() -> run_result { throw std::runtime_error("boom"); }});
+  const auto results = experiment_runner(2).run_all(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error, "boom");
+}
+
+TEST(Runner, EmptyGrid) {
+  EXPECT_TRUE(experiment_runner(4).run_all({}).empty());
+}
+
+TEST(Runner, AggregateFoldsMetricsAndLatencies) {
+  std::vector<run_result> results(2);
+  results[0].metrics.messages_sent = 10;
+  results[0].metrics.events_processed = 100;
+  results[0].latencies_us = {1.0, 3.0};
+  results[0].wall_ms = 50;
+  results[1].metrics.messages_sent = 5;
+  results[1].metrics.events_processed = 60;
+  results[1].latencies_us = {2.0};
+  results[1].wall_ms = 50;
+  results[1].ok = false;
+
+  const run_aggregate a = aggregate(results);
+  EXPECT_EQ(a.runs, 2u);
+  EXPECT_EQ(a.failed, 1u);
+  EXPECT_EQ(a.totals.messages_sent, 15u);
+  EXPECT_EQ(a.totals.events_processed, 160u);
+  EXPECT_EQ(a.latency_us.count, 3u);
+  EXPECT_DOUBLE_EQ(a.latency_us.mean, 2.0);
+  EXPECT_DOUBLE_EQ(a.wall_ms, 100.0);
+  EXPECT_DOUBLE_EQ(a.events_per_sec, 1600.0);  // 160 events / 0.1 s
+}
+
+TEST(Runner, AggregateRendersJson) {
+  const std::string json = to_json(aggregate({}));
+  EXPECT_NE(json.find("\"runs\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"events_per_sec\": 0"), std::string::npos);
+}
+
+TEST(Runner, GridSeedStableAndDecorrelated) {
+  EXPECT_EQ(grid_seed(1, 2, 3, 4), grid_seed(1, 2, 3, 4));
+  EXPECT_NE(grid_seed(1, 2, 3, 4), grid_seed(1, 2, 3, 5));
+  EXPECT_NE(grid_seed(1, 2, 3, 4), grid_seed(1, 2, 4, 4));
+  EXPECT_NE(grid_seed(1, 2, 3, 4), grid_seed(2, 2, 3, 4));
+}
+
+TEST(Runner, ThreadCountResolution) {
+  EXPECT_EQ(experiment_runner(7).threads(), 7u);
+  EXPECT_GE(experiment_runner(0).threads(), 1u);
+}
+
+}  // namespace
+}  // namespace gqs

@@ -12,12 +12,24 @@
 
 #include "lincheck/dependency_graph.hpp"
 #include "lincheck/wing_gong.hpp"
+#include "sim/flooding.hpp"
 #include "workload/worlds.hpp"
 
 namespace gqs {
 namespace {
 
 constexpr sim_time kBudget = 1800L * 1000 * 1000;
+
+/// Total out-of-order dedup backlog across all flooding endpoints — the
+/// only flooding dedup state not covered by a high-water mark. The soak
+/// rounds below assert it stays flat instead of growing with traffic.
+std::size_t total_dedup_backlog(simulation& sim) {
+  std::size_t total = 0;
+  for (process_id p = 0; p < sim.size(); ++p)
+    if (const auto* f = dynamic_cast<const flooding_node*>(&sim.node_at(p)))
+      total += f->dedup_backlog();
+  return total;
+}
 
 class SoakSweep : public ::testing::TestWithParam<unsigned> {};
 
@@ -38,6 +50,9 @@ TEST_P(SoakSweep, RegisterManyRoundsAcrossStrike) {
   std::uniform_int_distribution<int> val(1, 500);
 
   // 10 rounds of one-op-per-U_f-member; rounds may straddle the strike.
+  // The flooding dedup backlog is sampled mid-run and at the end: it must
+  // stay flat (bounded by in-flight reordering), not grow with traffic.
+  std::size_t backlog_mid = 0;
   for (int round = 0; round < 10; ++round) {
     std::vector<std::size_t> batch;
     for (process_id p : u_f) {
@@ -54,7 +69,11 @@ TEST_P(SoakSweep, RegisterManyRoundsAcrossStrike) {
         },
         w.sim.now() + kBudget))
         << "round " << round << " seed " << seed;
+    if (round == 4) backlog_mid = total_dedup_backlog(w.sim);
   }
+  const std::size_t backlog_end = total_dedup_backlog(w.sim);
+  EXPECT_LE(backlog_end, backlog_mid + 64)
+      << "dedup state must not grow with traffic (seed " << seed << ")";
   ASSERT_LE(w.client.history().size(), 64u);
   const auto bb = check_linearizable(w.client.history());
   EXPECT_TRUE(bb.linearizable) << bb.reason;

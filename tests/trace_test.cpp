@@ -97,5 +97,55 @@ TEST(Trace, SinkCanBeCleared) {
   EXPECT_TRUE(w.events.empty());
 }
 
+// A run is a pure function of (protocol, options, fault plan, seed,
+// script): the same seed must reproduce the exact trace event sequence,
+// byte for byte, across repeated runs.
+TEST(Trace, SameSeedByteIdenticalTrace) {
+  auto run = [](std::uint64_t seed) {
+    fault_plan faults = fault_plan::none(3);
+    faults.disconnect(0, 2, 5_ms);
+    faults.crash(2, 40_ms);
+    traced_world w(std::move(faults), seed);
+    for (int i = 0; i < 20; ++i) {
+      w.nodes[0]->send(1, make_message<probe_msg>());
+      w.nodes[1]->send(2, make_message<probe_msg>());
+      w.nodes[0]->set_timer(3_ms * (i + 1));
+      w.sim.run_until(w.sim.now() + 4_ms);
+    }
+    w.sim.run_until(1_s);
+    return w.events;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i], b[i]) << "event " << i;
+  EXPECT_NE(run(42), run(43));  // different seed, different schedule
+}
+
+// The trace must interleave sends, drops and deliveries in timestamp
+// order even when failures strike mid-run (exercises the epoch tables at
+// the boundaries).
+TEST(Trace, TimestampsMonotoneAcrossEpochBoundaries) {
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 1, 7_ms);
+  faults.crash(1, 15_ms);
+  traced_world w(std::move(faults), 7);
+  for (int i = 0; i < 30; ++i) {
+    w.nodes[0]->send(1, make_message<probe_msg>());
+    w.sim.run_until(w.sim.now() + 1_ms);
+  }
+  w.sim.run_until(1_s);
+  ASSERT_FALSE(w.events.empty());
+  for (std::size_t i = 1; i < w.events.size(); ++i)
+    EXPECT_LE(w.events[i - 1].at, w.events[i].at) << "event " << i;
+  // Sends from 0 to 1 at t >= 7 ms are channel drops.
+  EXPECT_GT(w.count(trace_event::kind::drop_channel), 0u);
+  for (const auto& ev : w.events)
+    if (ev.what == trace_event::kind::drop_channel) {
+      EXPECT_GE(ev.at, 7_ms);
+    }
+}
+
 }  // namespace
 }  // namespace gqs
