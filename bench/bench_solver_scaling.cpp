@@ -1,0 +1,287 @@
+// bench_solver_scaling — existence-solver throughput on the topology
+// scenario corpus, against a faithful replica of the seed backtracker.
+//
+// Three parts:
+//
+//   corpus   — every decision instance in the comparison corpus is decided
+//              by both engines; verdicts must agree and the new solver
+//              must clear ≥ 3× solved/sec (the acceptance bar — nonzero
+//              exit otherwise, which fails CI's bench-gate);
+//   scaling  — solver-only sweep of n up to 64 across topology kinds,
+//              recording solved/sec, search nodes and prune counts per
+//              size band;
+//   threads  — the parallel top-level fan-out at 1/2/4 workers on the
+//              hardest band (wall time only; the witness is bit-identical
+//              by construction, which tests/solver_test.cpp asserts).
+//
+// The replica reproduces src/core/existence.cpp as of the seed: per-
+// pattern SCC/reach-to collection with the size-descending sort, then
+// depth-first search whose inner loop re-tests pairwise intersections
+// against every assigned pattern — no compatibility bitmatrix, no arc
+// consistency, no variable ordering, no forward checking.
+#include "bench_main.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "core/existence.hpp"
+#include "core/solver.hpp"
+#include "workload/table.hpp"
+#include "workload/topologies.hpp"
+
+namespace {
+
+using namespace gqs;
+
+// ---- seed replica -------------------------------------------------------
+
+namespace seed_replica {
+
+struct pattern_options {
+  std::vector<process_set> components;
+  std::vector<process_set> reach_to;
+};
+
+std::vector<pattern_options> collect_options(const fail_prone_system& fps) {
+  std::vector<pattern_options> all;
+  all.reserve(fps.size());
+  for (const failure_pattern& f : fps) {
+    const digraph residual = f.residual();
+    pattern_options opts;
+    opts.components = residual.sccs();
+    std::sort(opts.components.begin(), opts.components.end(),
+              [](process_set a, process_set b) { return a.size() > b.size(); });
+    for (const process_set& s : opts.components)
+      opts.reach_to.push_back(residual.reach_to_all(s));
+    all.push_back(std::move(opts));
+  }
+  return all;
+}
+
+bool compatible(const pattern_options& a, std::size_t ia,
+                const pattern_options& b, std::size_t ib) {
+  return a.reach_to[ia].intersects(b.components[ib]) &&
+         b.reach_to[ib].intersects(a.components[ia]);
+}
+
+bool search(const std::vector<pattern_options>& options, std::size_t depth,
+            std::vector<std::size_t>& choice) {
+  if (depth == options.size()) return true;
+  const pattern_options& current = options[depth];
+  for (std::size_t i = 0; i < current.components.size(); ++i) {
+    bool ok = current.reach_to[i].intersects(current.components[i]);
+    for (std::size_t d = 0; ok && d < depth; ++d)
+      ok = compatible(options[d], choice[d], current, i);
+    if (!ok) continue;
+    choice[depth] = i;
+    if (search(options, depth + 1, choice)) return true;
+  }
+  return false;
+}
+
+bool exists(const fail_prone_system& fps) {
+  const auto options = collect_options(fps);
+  std::vector<std::size_t> choice(options.size(), 0);
+  return search(options, 0, choice);
+}
+
+}  // namespace seed_replica
+
+// ---- instance corpus ----------------------------------------------------
+
+struct instance {
+  std::string name;
+  fail_prone_system fps;
+};
+
+std::vector<instance> build_instances(process_id min_n, process_id max_n,
+                                      int patterns, int seeds_per_family,
+                                      std::uint64_t seed_base) {
+  std::vector<instance> instances;
+  for (const scenario_family& family : topology_corpus(max_n)) {
+    if (family.params.topology.n < min_n) continue;
+    scenario_params params = family.params;
+    params.patterns = patterns;
+    for (int s = 0; s < seeds_per_family; ++s) {
+      std::mt19937_64 rng(seed_base + s * 7919 + family.name.size());
+      instances.push_back({family.name + "#" + std::to_string(s),
+                           scenario_system(params, rng)});
+    }
+  }
+  return instances;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+}  // namespace
+
+int bench_entry() {
+  std::cout << "bench_solver_scaling — existence solver vs the seed "
+               "backtracker on the topology corpus\n";
+
+  // ---- part 1: corpus comparison ----------------------------------------
+  // |F| = 16 over every topology kind at n = 12..64: sized so the
+  // per-pattern candidate tables (where the replica redoes a BFS per
+  // component) and the search both carry real weight. Toy sizes (n < 12,
+  // where both engines finish in single-digit microseconds) are measured
+  // by the scaling sweep below instead of diluting the comparison.
+  const auto corpus = build_instances(/*min_n=*/12, /*max_n=*/64,
+                                      /*patterns=*/16,
+                                      /*seeds_per_family=*/4,
+                                      /*seed_base=*/1234);
+  print_heading("Corpus comparison: " + std::to_string(corpus.size()) +
+                " instances, |F| = 16, n = 12..64");
+
+  // Best of 3 passes per engine to shrug off scheduler noise: the gate in
+  // CI compares the resulting ratio against a committed baseline, so the
+  // measurement needs to be stable run to run.
+  constexpr int kPasses = 3;
+  std::vector<bool> replica_verdicts(corpus.size());
+  double replica_secs = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+      replica_verdicts[i] = seed_replica::exists(corpus[i].fps);
+    const double secs = seconds_since(begin);
+    replica_secs = pass == 0 ? secs : std::min(replica_secs, secs);
+  }
+
+  std::uint64_t nodes = 0, forward_prunes = 0, arc_prunes = 0;
+  int sat = 0;
+  double solver_secs = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    nodes = forward_prunes = arc_prunes = 0;
+    sat = 0;
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      existence_solver solver(corpus[i].fps);
+      const bool verdict = solver.exists();
+      nodes += solver.stats().nodes;
+      forward_prunes += solver.stats().forward_prunes;
+      arc_prunes += solver.stats().arc_prunes;
+      sat += verdict ? 1 : 0;
+      if (verdict != replica_verdicts[i]) {
+        std::cerr << "verdict mismatch on " << corpus[i].name << "\n";
+        return 1;
+      }
+    }
+    const double secs = seconds_since(begin);
+    solver_secs = pass == 0 ? secs : std::min(solver_secs, secs);
+  }
+
+  const double replica_rate = corpus.size() / replica_secs;
+  const double solver_rate = corpus.size() / solver_secs;
+  const double speedup = replica_secs / solver_secs;
+
+  text_table comparison({"engine", "solved/sec", "total secs"});
+  comparison.add_row({"seed replica", fmt_double(replica_rate, 1),
+                      fmt_double(replica_secs, 3)});
+  comparison.add_row({"existence_solver", fmt_double(solver_rate, 1),
+                      fmt_double(solver_secs, 3)});
+  comparison.print();
+  std::cout << "sat " << sat << " / " << corpus.size() << ", solver nodes "
+            << nodes << ", forward prunes " << forward_prunes
+            << ", arc prunes " << arc_prunes << "\n";
+  std::cout << "speedup (solver/replica): " << fmt_double(speedup, 2)
+            << "x — acceptance bar 3x\n\n";
+
+  gqs_bench::record("corpus_instances", std::uint64_t{corpus.size()});
+  gqs_bench::record("corpus_sat", static_cast<std::uint64_t>(sat));
+  gqs_bench::record("replica_solved_per_sec", replica_rate);
+  gqs_bench::record("solver_solved_per_sec", solver_rate);
+  gqs_bench::record("speedup", speedup);
+  gqs_bench::record("solver_nodes", nodes);
+  gqs_bench::record("solver_forward_prunes", forward_prunes);
+  gqs_bench::record("solver_arc_prunes", arc_prunes);
+
+  // ---- part 2: scaling sweep --------------------------------------------
+  print_heading("Scaling sweep: solver only, n up to 64");
+  text_table sweep({"n", "|F|", "instances", "sat", "solved/sec", "nodes",
+                    "prunes"});
+  for (const auto& [band_n, band_patterns] :
+       std::vector<std::pair<process_id, int>>{
+           {8, 12}, {16, 14}, {32, 16}, {48, 16}, {64, 16}}) {
+    std::vector<instance> band;
+    for (const scenario_family& family : topology_corpus(band_n)) {
+      if (family.params.topology.n != band_n) continue;
+      scenario_params params = family.params;
+      params.patterns = band_patterns;
+      for (int s = 0; s < 3; ++s) {
+        std::mt19937_64 rng(4321 + s * 104729 + family.name.size());
+        band.push_back({family.name, scenario_system(params, rng)});
+      }
+    }
+    if (band.empty()) continue;
+    std::uint64_t band_nodes = 0, band_prunes = 0;
+    int band_sat = 0;
+    const auto begin = std::chrono::steady_clock::now();
+    for (const instance& inst : band) {
+      existence_solver solver(inst.fps);
+      band_sat += solver.exists() ? 1 : 0;
+      band_nodes += solver.stats().nodes;
+      band_prunes +=
+          solver.stats().forward_prunes + solver.stats().arc_prunes;
+    }
+    const double secs = seconds_since(begin);
+    const double rate = band.size() / secs;
+    sweep.add_row({std::to_string(band_n), std::to_string(band_patterns),
+                   std::to_string(band.size()), std::to_string(band_sat),
+                   fmt_double(rate, 1), fmt_count(band_nodes),
+                   fmt_count(band_prunes)});
+    const std::string prefix = "n" + std::to_string(band_n) + "_";
+    gqs_bench::record(prefix + "solved_per_sec", rate);
+    gqs_bench::record(prefix + "nodes", band_nodes);
+    gqs_bench::record(prefix + "prunes", band_prunes);
+    gqs_bench::record(prefix + "sat", static_cast<std::uint64_t>(band_sat));
+  }
+  sweep.print();
+  std::cout << "\n";
+
+  // ---- part 3: thread fan-out -------------------------------------------
+  // stage1_node_budget = 1 forces every decision through the stage-2
+  // bitmatrix + fan-out path, so the thread pool actually engages (the
+  // corpus median instance otherwise decides in the sequential stage 1).
+  print_heading(
+      "Parallel fan-out: corpus re-decided at 1/2/4 workers (stage 2 "
+      "forced)");
+  text_table threads_table({"threads", "solved/sec"});
+  for (unsigned threads : {1u, 2u, 4u}) {
+    solver_options opts;
+    opts.threads = threads;
+    opts.stage1_node_budget = 1;
+    const auto begin = std::chrono::steady_clock::now();
+    for (const instance& inst : corpus) {
+      existence_solver solver(inst.fps, opts);
+      (void)solver.exists();
+    }
+    const double rate = corpus.size() / seconds_since(begin);
+    threads_table.add_row({std::to_string(threads), fmt_double(rate, 1)});
+    gqs_bench::record("threads" + std::to_string(threads) + "_solved_per_sec",
+                      rate);
+  }
+  threads_table.print();
+
+  if (speedup < 3.0) {
+    // The same knob that skips CI's bench-gate comparison lifts this
+    // built-in bar, so a known, intentional regression can land with one
+    // override (documented in README.md, "Bench gate").
+    const char* skip = std::getenv("GQS_BENCH_GATE_SKIP");
+    if (skip && std::string_view(skip) == "1") {
+      std::cerr << "\nspeedup " << speedup
+                << "x below the 3x acceptance bar — ignored "
+                   "(GQS_BENCH_GATE_SKIP=1)\n";
+      return 0;
+    }
+    std::cerr << "\nspeedup " << speedup << "x below the 3x acceptance bar\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,7 +1,8 @@
 #include "core/existence.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "core/solver.hpp"
 
 namespace gqs {
 
@@ -9,96 +10,47 @@ std::vector<process_set> write_candidates(const failure_pattern& f) {
   return f.residual().sccs();
 }
 
-namespace {
-
-struct pattern_options {
-  // For each SCC S of G \ f: the component itself and reach_to(S).
-  std::vector<process_set> components;
-  std::vector<process_set> reach_to;
-};
-
-std::vector<pattern_options> collect_options(const fail_prone_system& fps) {
-  std::vector<pattern_options> all;
-  all.reserve(fps.size());
-  for (const failure_pattern& f : fps) {
-    const digraph residual = f.residual();
-    pattern_options opts;
-    opts.components = residual.sccs();
-    // Prefer larger components first: they intersect more easily, so the
-    // backtracking search finds witnesses fast.
-    std::sort(opts.components.begin(), opts.components.end(),
-              [](process_set a, process_set b) { return a.size() > b.size(); });
-    for (const process_set& s : opts.components)
-      opts.reach_to.push_back(residual.reach_to_all(s));
-    all.push_back(std::move(opts));
-  }
-  return all;
-}
-
-bool compatible(const pattern_options& a, std::size_t ia,
-                const pattern_options& b, std::size_t ib) {
-  // Consistency both ways: R_a ∩ W_b ≠ ∅ and R_b ∩ W_a ≠ ∅.
-  return a.reach_to[ia].intersects(b.components[ib]) &&
-         b.reach_to[ib].intersects(a.components[ia]);
-}
-
-bool search(const std::vector<pattern_options>& options, std::size_t depth,
-            std::vector<std::size_t>& choice) {
-  if (depth == options.size()) return true;
-  const pattern_options& current = options[depth];
-  for (std::size_t i = 0; i < current.components.size(); ++i) {
-    bool ok = current.reach_to[i].intersects(current.components[i]);
-    for (std::size_t d = 0; ok && d < depth; ++d)
-      ok = compatible(options[d], choice[d], current, i);
-    if (!ok) continue;
-    choice[depth] = i;
-    if (search(options, depth + 1, choice)) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 std::optional<gqs_witness> find_gqs(const fail_prone_system& fps) {
   if (fps.empty())
     throw std::invalid_argument("find_gqs: empty fail-prone system");
-  const auto options = collect_options(fps);
-  std::vector<std::size_t> choice(options.size(), 0);
-  if (!search(options, 0, choice)) return std::nullopt;
-
-  quorum_family reads, writes;
-  std::vector<process_set> chosen_w, chosen_r;
-  for (std::size_t k = 0; k < options.size(); ++k) {
-    const process_set w = options[k].components[choice[k]];
-    const process_set r = options[k].reach_to[choice[k]];
-    writes.push_back(w);
-    reads.push_back(r);
-    chosen_w.push_back(w);
-    chosen_r.push_back(r);
-  }
-  generalized_quorum_system system(fps, reads, writes);
-
-  termination_mapping tau;
-  for (std::size_t k = 0; k < fps.size(); ++k)
-    tau.push_back(compute_u_f(system, fps[k]));
-
-  return gqs_witness{std::move(system), std::move(chosen_w),
-                     std::move(chosen_r), std::move(tau)};
+  // Default solver options: tiny instances decide in the sequential
+  // stage-1 search; only escalated searches touch the thread pool
+  // ($GQS_SOLVER_THREADS overrides the size). Callers wanting explicit
+  // control use existence_solver directly.
+  existence_solver solver(fps);
+  return solver.solve();
 }
 
 bool gqs_exists_exhaustive(const fail_prone_system& fps) {
   if (fps.empty())
     throw std::invalid_argument("gqs_exists_exhaustive: empty system");
-  const auto options = collect_options(fps);
+  // Candidate tables are shared with the solver, but the enumeration below
+  // is deliberately naive — it is the oracle the solver is tested against,
+  // so it must stay independent of the solver's pruning machinery.
+  std::vector<pattern_table> options;
+  options.reserve(fps.size());
+  for (const failure_pattern& f : fps) options.push_back(build_pattern_table(f));
+
+  auto self_consistent = [&](std::size_t a, std::size_t i) {
+    return options[a].reach_to[i].intersects(options[a].components[i]);
+  };
+  auto compatible = [&](std::size_t a, std::size_t ia, std::size_t b,
+                        std::size_t ib) {
+    // Consistency both ways: R_a ∩ W_b ≠ ∅ and R_b ∩ W_a ≠ ∅.
+    return options[a].reach_to[ia].intersects(options[b].components[ib]) &&
+           options[b].reach_to[ib].intersects(options[a].components[ia]);
+  };
+
   std::vector<std::size_t> choice(options.size(), 0);
+  for (const pattern_table& t : options)
+    if (t.components.empty()) return false;
   // Odometer enumeration over all SCC combinations.
   while (true) {
     bool ok = true;
     for (std::size_t a = 0; ok && a < options.size(); ++a) {
-      ok = options[a].reach_to[choice[a]].intersects(
-          options[a].components[choice[a]]);
+      ok = self_consistent(a, choice[a]);
       for (std::size_t b = 0; ok && b < a; ++b)
-        ok = compatible(options[a], choice[a], options[b], choice[b]);
+        ok = compatible(a, choice[a], b, choice[b]);
     }
     if (ok) return true;
     // Advance odometer.

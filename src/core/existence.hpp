@@ -11,9 +11,12 @@
 //   F admits a GQS  ⟺  one can choose an SCC S_f of G \ f for each f ∈ F
 //                      such that for all f, g: reach_to(S_f) ∩ S_g ≠ ∅.
 //
-// This finite choice problem is solved by backtracking with pairwise
-// pruning. The witness returned is exactly the paper's Theorem 2
-// construction with τ(f) = S_f.
+// This finite choice problem is solved by the existence solver
+// (core/solver.hpp): precomputed candidate tables, a pairwise
+// compatibility bitmatrix, conflict-driven pruning, and an optional
+// parallel top-level fan-out. find_gqs below is the convenience wrapper
+// (sequential defaults); the witness returned is exactly the paper's
+// Theorem 2 construction with τ(f) = S_f.
 #pragma once
 
 #include <functional>

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/solver.hpp"
+
 namespace gqs {
 
 int total_quorum_size(const generalized_quorum_system& gqs) {
@@ -11,12 +13,80 @@ int total_quorum_size(const generalized_quorum_system& gqs) {
   return total;
 }
 
+namespace {
+
+// Fast Definition 2 re-check for the greedy loop. check_generalized
+// rebuilds a residual digraph per availability test; during minimization
+// the fail-prone system never changes, so the per-pattern tables
+// (per-vertex reachability closures and SCC masks) are computed once and
+// every re-check is pure mask algebra. Truth value is identical to
+// check_generalized(gqs).ok.
+class definition2_oracle {
+ public:
+  explicit definition2_oracle(const fail_prone_system& fps) {
+    tables_.reserve(fps.size());
+    for (const failure_pattern& f : fps)
+      tables_.push_back(build_pattern_table(f));
+  }
+
+  bool check(const generalized_quorum_system& gqs) const {
+    const process_set universe = process_set::full(gqs.system_size());
+    for (const process_set& q : gqs.reads)
+      if (!q.is_subset_of(universe)) return false;
+    for (const process_set& q : gqs.writes)
+      if (!q.is_subset_of(universe)) return false;
+    if (gqs.reads.empty() || gqs.writes.empty()) return false;
+    for (const process_set& r : gqs.reads)
+      for (const process_set& w : gqs.writes)
+        if (!r.intersects(w)) return false;
+    for (const pattern_table& t : tables_) {
+      bool found = false;
+      for (const process_set& w : gqs.writes) {
+        if (!available(w, t)) continue;
+        for (const process_set& r : gqs.reads) {
+          if (reachable_from(w, r, t)) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+ private:
+  // is_f_available: nonempty, all correct, inside one SCC of G \ f.
+  static bool available(process_set w, const pattern_table& t) {
+    if (w.empty() || !w.is_subset_of(t.correct)) return false;
+    return w.is_subset_of(t.scc[w.first()]);
+  }
+
+  // is_f_reachable_from: both nonempty and correct, and every member of r
+  // reaches all of w.
+  static bool reachable_from(process_set w, process_set r,
+                             const pattern_table& t) {
+    if (w.empty() || r.empty()) return false;
+    if (!w.is_subset_of(t.correct) || !r.is_subset_of(t.correct))
+      return false;
+    for (process_id p : r)
+      if (!w.is_subset_of(t.reach_from[p])) return false;
+    return true;
+  }
+
+  std::vector<pattern_table> tables_;
+};
+
+}  // namespace
+
 generalized_quorum_system minimize_quorums(
     const generalized_quorum_system& gqs) {
   if (!check_generalized(gqs).ok)
     throw std::invalid_argument(
         "minimize_quorums: input is not a generalized quorum system");
   generalized_quorum_system current = gqs;
+  const definition2_oracle oracle(current.fps);
 
   // Alternate passes over writes and reads until a fixpoint: dropping a
   // member from one family can unlock drops in the other (smaller write
@@ -33,7 +103,7 @@ generalized_quorum_system minimize_quorums(
           if (candidate.empty()) continue;
           const process_set saved = quorum;
           quorum = candidate;
-          if (check_generalized(current).ok) {
+          if (oracle.check(current)) {
             changed = true;
             break;  // quorum's iterator invalidated; next fixpoint round
           }

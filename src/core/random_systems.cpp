@@ -35,14 +35,26 @@ fail_prone_system random_fail_prone_system(const random_system_params& params,
   return fps;
 }
 
-std::optional<gqs_witness> random_gqs(const random_system_params& params,
-                                      std::mt19937_64& rng,
-                                      int max_attempts) {
+random_gqs_result random_gqs_from(
+    const std::function<fail_prone_system()>& source, int max_attempts) {
+  random_gqs_result result;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    fail_prone_system fps = random_fail_prone_system(params, rng);
-    if (auto witness = find_gqs(fps)) return witness;
+    fail_prone_system fps = source();
+    ++result.attempts;
+    if (auto witness = find_gqs(fps)) {
+      result.witness = std::move(witness);
+      return result;
+    }
+    ++result.rejected;
   }
-  return std::nullopt;
+  result.exhausted = true;
+  return result;
+}
+
+random_gqs_result random_gqs(const random_system_params& params,
+                             std::mt19937_64& rng, int max_attempts) {
+  return random_gqs_from(
+      [&] { return random_fail_prone_system(params, rng); }, max_attempts);
 }
 
 }  // namespace gqs

@@ -1,8 +1,11 @@
 // random_systems.hpp — seeded random generators for fail-prone systems and
 // generalized quorum systems; used by property tests and scaling benches.
+// The topology scenario corpus (workload/topologies.hpp) builds structured
+// fail-prone systems and feeds them through random_gqs_from.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <random>
 
@@ -28,11 +31,34 @@ failure_pattern random_failure_pattern(const random_system_params& params,
 fail_prone_system random_fail_prone_system(const random_system_params& params,
                                            std::mt19937_64& rng);
 
+/// Outcome of a random_gqs search. A missing witness is *always* an
+/// attempts-exhausted outcome (every drawn system was decided
+/// unsatisfiable by the solver) — the counters make that distinguishable
+/// from "the very first draw admitted a GQS", so property tests can assert
+/// they exercised real witnesses instead of vacuously passing.
+struct random_gqs_result {
+  std::optional<gqs_witness> witness;  ///< first admitting system's witness
+  int attempts = 0;   ///< systems drawn (== rejected + (witness ? 1 : 0))
+  int rejected = 0;   ///< drawn systems the solver decided admit no GQS
+  bool exhausted = false;  ///< max_attempts drawn, none admitted a GQS
+
+  explicit operator bool() const noexcept { return witness.has_value(); }
+  bool has_value() const noexcept { return witness.has_value(); }
+  const gqs_witness& operator*() const { return *witness; }
+  gqs_witness& operator*() { return *witness; }
+  const gqs_witness* operator->() const { return &*witness; }
+  gqs_witness* operator->() { return &*witness; }
+};
+
+/// Draws fail-prone systems from `source` until one admits a GQS (up to
+/// `max_attempts`); returns the witness plus attempt accounting.
+random_gqs_result random_gqs_from(
+    const std::function<fail_prone_system()>& source, int max_attempts = 100);
+
 /// Draws random fail-prone systems until one admits a GQS (up to
-/// `max_attempts`); returns the witness. Useful for tests that need a
-/// nontrivial GQS with channel failures.
-std::optional<gqs_witness> random_gqs(const random_system_params& params,
-                                      std::mt19937_64& rng,
-                                      int max_attempts = 100);
+/// `max_attempts`). Useful for tests that need a nontrivial GQS with
+/// channel failures.
+random_gqs_result random_gqs(const random_system_params& params,
+                             std::mt19937_64& rng, int max_attempts = 100);
 
 }  // namespace gqs

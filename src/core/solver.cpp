@@ -1,0 +1,551 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/runner.hpp"
+
+namespace gqs {
+
+namespace {
+
+/// Allocation-free Tarjan over a 64-vertex adjacency-mask array; emits
+/// components into `out` in reverse topological order (sinks first), the
+/// same contract as digraph::sccs(). Everything lives in fixed arrays —
+/// table construction is the hot path of every existence decision and the
+/// general digraph implementation spends most of its time in small-vector
+/// churn at these sizes.
+struct scc_scratch {
+  static constexpr process_id cap = process_set::max_processes;
+  std::array<std::uint64_t, cap> adj{};
+  std::array<int, cap> index{};
+  std::array<int, cap> lowlink{};
+  std::array<bool, cap> on_stack{};
+  std::array<process_id, cap> stack{};
+  struct frame {
+    process_id v;
+    std::uint64_t remaining;
+  };
+  std::array<frame, cap> dfs{};
+  int sp = 0, fp = 0, next_index = 0;
+
+  void run(process_id root, std::uint64_t live,
+           std::vector<process_set>& out) {
+    auto open = [&](process_id v) {
+      index[v] = lowlink[v] = next_index++;
+      stack[sp++] = v;
+      on_stack[v] = true;
+      dfs[fp++] = {v, adj[v] & live};
+    };
+    open(root);
+    while (fp > 0) {
+      frame& top = dfs[fp - 1];
+      if (top.remaining != 0) {
+        const process_id w =
+            static_cast<process_id>(std::countr_zero(top.remaining));
+        top.remaining &= top.remaining - 1;
+        if (index[w] < 0) {
+          open(w);
+        } else if (on_stack[w]) {
+          lowlink[top.v] = std::min(lowlink[top.v], index[w]);
+        }
+      } else {
+        const process_id v = top.v;
+        --fp;
+        if (fp > 0)
+          lowlink[dfs[fp - 1].v] = std::min(lowlink[dfs[fp - 1].v],
+                                            lowlink[v]);
+        if (lowlink[v] == index[v]) {
+          process_set component;
+          process_id w;
+          do {
+            w = stack[--sp];
+            on_stack[w] = false;
+            component.insert(w);
+          } while (w != v);
+          out.push_back(component);
+        }
+      }
+    }
+  }
+};
+
+/// Fills `t` for one pattern without the by-value return (the solver
+/// constructs its tables in place; the ~1 KiB per-vertex arrays make the
+/// move visible at corpus scale).
+void build_pattern_table_into(const failure_pattern& f, pattern_table& t) {
+  t.correct = f.correct();
+  const std::uint64_t live = t.correct.mask();
+
+  // Residual adjacency straight from masks: the complete graph restricted
+  // to correct processes, minus the pattern's faulty channels. No digraph
+  // object, no allocation.
+  scc_scratch scratch;
+  const digraph& faulty = f.faulty_channels();
+  for (process_id v : t.correct) {
+    scratch.adj[v] = live & ~(std::uint64_t{1} << v) &
+                     ~faulty.out_neighbors(v).mask();
+    scratch.index[v] = -1;
+  }
+
+  std::vector<process_set> components;
+  components.reserve(t.correct.size());
+  for (process_id v : t.correct)
+    if (scratch.index[v] < 0) scratch.run(v, live, components);
+
+  // Both reachability closures ride the condensation DAG: components
+  // arrive sinks first, so one forward sweep unions each component's
+  // successors' closures (reach_from), and one reverse sweep pushes each
+  // component's reaching set into its successors (reach_to — for a
+  // strongly connected S, "reaches all of S" ≡ "reaches any of S"). Both
+  // are O(edges) word operations, where the seed redid a BFS per
+  // (vertex, component) pair — cubic on chain-shaped residuals.
+  std::array<std::uint8_t, scc_scratch::cap> comp_of{};
+  for (std::size_t idx = 0; idx < components.size(); ++idx)
+    for (process_id v : components[idx])
+      comp_of[v] = static_cast<std::uint8_t>(idx);
+  std::array<process_set, scc_scratch::cap> comp_reach{};
+  std::array<process_set, scc_scratch::cap> comp_reaching{};
+  for (std::size_t idx = 0; idx < components.size(); ++idx) {
+    const process_set comp = components[idx];
+    process_set r = comp;
+    for (process_id v : comp)
+      for (process_id w : process_set(scratch.adj[v]) - comp)
+        r |= comp_reach[comp_of[w]];
+    comp_reach[idx] = r;
+    comp_reaching[idx] = comp;
+    for (process_id v : comp) {
+      t.reach_from[v] = r;
+      t.scc[v] = comp;
+    }
+  }
+  for (std::size_t idx = components.size(); idx-- > 0;) {
+    const process_set comp = components[idx];
+    const process_set reaching = comp_reaching[idx];  // now complete
+    for (process_id v : comp)
+      for (process_id w : process_set(scratch.adj[v]) - comp)
+        comp_reaching[comp_of[w]] |= reaching;
+  }
+
+  // Sort candidates (size descending, mask as the deterministic
+  // tie-break) and carry each component's reach_to along.
+  std::array<std::uint8_t, scc_scratch::cap> order{};
+  for (std::size_t idx = 0; idx < components.size(); ++idx)
+    order[idx] = static_cast<std::uint8_t>(idx);
+  std::sort(order.begin(), order.begin() + components.size(),
+            [&](std::uint8_t a, std::uint8_t b) {
+              const process_set& ca = components[a];
+              const process_set& cb = components[b];
+              return ca.size() != cb.size() ? ca.size() > cb.size()
+                                            : ca.mask() < cb.mask();
+            });
+  t.components.reserve(components.size());
+  t.reach_to.reserve(components.size());
+  for (std::size_t k = 0; k < components.size(); ++k) {
+    t.components.push_back(components[order[k]]);
+    t.reach_to.push_back(comp_reaching[order[k]]);
+  }
+}
+
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+/// Mask over candidates j of pattern b compatible with candidate i of
+/// pattern a, computed directly from the tables (the stage-1 path; stage 2
+/// reads the same values out of the prebuilt matrix).
+std::uint64_t compute_row(const std::vector<pattern_table>& tables,
+                          std::size_t a, std::size_t i, std::size_t b) {
+  const pattern_table& ta = tables[a];
+  const pattern_table& tb = tables[b];
+  std::uint64_t row = 0;
+  for (std::size_t j = 0; j < tb.components.size(); ++j) {
+    // Consistency both ways: reach(S_a) ∩ S_b and reach(S_b) ∩ S_a.
+    if (ta.reach_to[i].intersects(tb.components[j]) &&
+        tb.reach_to[j].intersects(ta.components[i]))
+      row |= std::uint64_t{1} << j;
+  }
+  return row;
+}
+
+/// One sequential backtracking search. Preallocates (m + 1) domain rows so
+/// descending a level is a row write and backtracking is free. Stage 1
+/// computes compatibility rows on the fly (matrix == nullptr); stage-2
+/// branches look them up in the completed bitmatrix.
+struct dfs_engine {
+  const std::vector<pattern_table>& tables;
+  const std::uint64_t* matrix;  // [a][b][i] -> mask over j, stride 64
+  std::size_t m;
+  bool forward_checking;
+  bool most_constrained_first;
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+
+  // Abandonment: in deterministic mode a branch gives up once a
+  // lower-indexed branch has won; in decision mode once anyone has.
+  const std::atomic<std::size_t>* best = nullptr;
+  std::size_t branch = 0;
+  bool deterministic = true;
+
+  std::uint64_t nodes = 0;
+  std::uint64_t prunes = 0;
+  bool out_of_budget = false;
+  std::vector<std::uint64_t> dom;   // (m + 1) rows of m domains
+  std::vector<std::size_t> choice;  // candidate index per pattern
+  std::vector<char> assigned;
+
+  dfs_engine(const std::vector<pattern_table>& pattern_tables,
+             const std::uint64_t* compat_matrix, bool forward, bool mrv)
+      : tables(pattern_tables),
+        matrix(compat_matrix),
+        m(pattern_tables.size()),
+        forward_checking(forward),
+        most_constrained_first(mrv),
+        dom((m + 1) * m, 0),
+        choice(m, npos),
+        assigned(m, 0) {}
+
+  std::uint64_t row(std::size_t a, std::size_t i, std::size_t b) const {
+    return matrix ? matrix[(a * m + b) * 64 + i]
+                  : compute_row(tables, a, i, b);
+  }
+
+  bool pair_ok(std::size_t a, std::size_t i, std::size_t b,
+               std::size_t j) const {
+    if (matrix) return (matrix[(a * m + b) * 64 + i] >> j) & 1;
+    return tables[a].reach_to[i].intersects(tables[b].components[j]) &&
+           tables[b].reach_to[j].intersects(tables[a].components[i]);
+  }
+
+  bool abandoned() const {
+    if (!best) return false;
+    const std::size_t b = best->load(std::memory_order_relaxed);
+    return deterministic ? branch > b : b != npos;
+  }
+
+  /// Assigns candidate i of pattern p at `depth`, writing the propagated
+  /// domains into row depth + 1. Returns false on a forward-check
+  /// wipe-out or an incompatibility with an assigned pattern.
+  bool assign(std::size_t depth, std::size_t p, std::size_t i) {
+    if (++nodes > budget) {
+      out_of_budget = true;
+      return false;
+    }
+    const std::uint64_t* cur = &dom[depth * m];
+    std::uint64_t* next = &dom[(depth + 1) * m];
+    if (forward_checking) {
+      for (std::size_t q = 0; q < m; ++q) {
+        if (q == p) {
+          next[q] = std::uint64_t{1} << i;
+        } else if (assigned[q]) {
+          next[q] = cur[q];
+        } else {
+          next[q] = cur[q] & row(p, i, q);
+          if (next[q] == 0) {
+            ++prunes;
+            return false;
+          }
+        }
+      }
+    } else {
+      // Seed-style pairwise pruning: test the candidate against every
+      // assigned pattern only; unassigned domains stay untouched.
+      for (std::size_t q = 0; q < m; ++q)
+        if (assigned[q] && !pair_ok(q, choice[q], p, i)) return false;
+      std::copy(cur, cur + m, next);
+      next[p] = std::uint64_t{1} << i;
+    }
+    return true;
+  }
+
+  bool dfs(std::size_t depth) {
+    if (depth == m) return true;
+    if (out_of_budget || abandoned()) return false;
+    const std::uint64_t* cur = &dom[depth * m];
+    // Variable ordering: smallest remaining domain first (ties break to
+    // the lowest pattern index), or plain index order when disabled.
+    std::size_t p = npos;
+    int best_count = std::numeric_limits<int>::max();
+    for (std::size_t q = 0; q < m; ++q) {
+      if (assigned[q]) continue;
+      if (!most_constrained_first) {
+        p = q;
+        break;
+      }
+      const int c = std::popcount(cur[q]);
+      if (c < best_count) {
+        best_count = c;
+        p = q;
+      }
+    }
+    for (std::uint64_t d = cur[p]; d != 0; d &= d - 1) {
+      const std::size_t i =
+          static_cast<std::size_t>(std::countr_zero(d));
+      if (!assign(depth, p, i)) {
+        if (out_of_budget) return false;
+        continue;
+      }
+      assigned[p] = 1;
+      choice[p] = i;
+      if (dfs(depth + 1)) return true;
+      assigned[p] = 0;
+      if (out_of_budget) return false;
+    }
+    return false;
+  }
+
+  /// Stage 1: full search from scratch under the node budget.
+  bool solve(const std::vector<std::uint64_t>& domains) {
+    std::copy(domains.begin(), domains.end(), dom.begin());
+    return dfs(0);
+  }
+
+  /// Stage-2 branch: pattern p0 fixed to candidate i0, then a full search
+  /// below it. On success `choice` holds the assignment.
+  bool run(const std::vector<std::uint64_t>& domains, std::size_t p0,
+           std::size_t i0) {
+    std::copy(domains.begin(), domains.end(), dom.begin());
+    if (!assign(0, p0, i0)) return false;
+    assigned[p0] = 1;
+    choice[p0] = i0;
+    return dfs(1);
+  }
+};
+
+void atomic_min(std::atomic<std::size_t>& target, std::size_t value) {
+  std::size_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+pattern_table build_pattern_table(const failure_pattern& f) {
+  pattern_table t;
+  build_pattern_table_into(f, t);
+  return t;
+}
+
+existence_solver::existence_solver(const fail_prone_system& fps,
+                                   solver_options opts)
+    : fps_(fps), opts_(opts) {
+  if (fps_.empty())
+    throw std::invalid_argument("existence_solver: empty fail-prone system");
+  threads_ = opts_.threads;
+  if (threads_ == 0) {
+    if (const char* env = std::getenv("GQS_SOLVER_THREADS"))
+      threads_ = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  if (threads_ == 0) threads_ = std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;
+
+  tables_.resize(fps_.size());
+  for (std::size_t k = 0; k < fps_.size(); ++k)
+    build_pattern_table_into(fps_[k], tables_[k]);
+
+  domains_.assign(tables_.size(), 0);
+  for (std::size_t p = 0; p < tables_.size(); ++p) {
+    const pattern_table& t = tables_[p];
+    for (std::size_t i = 0; i < t.components.size(); ++i)
+      if (t.reach_to[i].intersects(t.components[i]))  // self-consistency
+        domains_[p] |= std::uint64_t{1} << i;
+    if (domains_[p] == 0) empty_domain_ = true;
+  }
+  if (empty_domain_) stats_.unsat_by_preprocessing = true;
+}
+
+std::uint64_t existence_solver::compat_row(std::size_t a, std::size_t i,
+                                           std::size_t b) const {
+  return compat_.empty() ? compute_row(tables_, a, i, b)
+                         : compat_[(a * tables_.size() + b) * 64 + i];
+}
+
+void existence_solver::build_compat() {
+  if (!compat_.empty()) return;
+  const std::size_t m = tables_.size();
+  compat_.assign(m * m * 64, 0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      for (std::size_t i = 0; i < tables_[a].components.size(); ++i) {
+        const std::uint64_t row = compute_row(tables_, a, i, b);
+        compat_[(a * m + b) * 64 + i] = row;
+        for (std::uint64_t r = row; r != 0; r &= r - 1) {
+          const std::size_t j =
+              static_cast<std::size_t>(std::countr_zero(r));
+          compat_[(b * m + a) * 64 + j] |= std::uint64_t{1} << i;
+        }
+      }
+    }
+  }
+}
+
+void existence_solver::propagate_arc_consistency() {
+  const std::size_t m = tables_.size();
+  bool changed = true;
+  while (changed && !empty_domain_) {
+    changed = false;
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::uint64_t d = domains_[a]; d != 0; d &= d - 1) {
+        const std::size_t i =
+            static_cast<std::size_t>(std::countr_zero(d));
+        for (std::size_t b = 0; b < m; ++b) {
+          if (b == a) continue;
+          if ((compat_row(a, i, b) & domains_[b]) == 0) {
+            // Candidate i has no surviving support in pattern b: no full
+            // assignment can use it.
+            domains_[a] &= ~(std::uint64_t{1} << i);
+            ++stats_.arc_prunes;
+            changed = true;
+            break;
+          }
+        }
+      }
+      if (domains_[a] == 0) {
+        empty_domain_ = true;
+        stats_.unsat_by_preprocessing = true;
+        return;
+      }
+    }
+  }
+}
+
+std::optional<std::vector<std::size_t>> existence_solver::search(
+    bool deterministic) {
+  if (empty_domain_) return std::nullopt;
+  const std::size_t m = tables_.size();
+
+  // ---- stage 1: budgeted sequential search, no matrix -------------------
+  // With the escalation disabled the budget is unlimited and this *is*
+  // the search.
+  {
+    dfs_engine engine(tables_, nullptr, opts_.forward_checking,
+                      opts_.most_constrained_first);
+    if (opts_.arc_consistency)
+      engine.budget = opts_.stage1_node_budget != 0
+                          ? opts_.stage1_node_budget
+                          : 64 + 8 * static_cast<std::uint64_t>(m);
+    const bool hit = engine.solve(domains_);
+    stats_.nodes += engine.nodes;
+    stats_.forward_prunes += engine.prunes;
+    if (hit) return engine.choice;
+    if (!engine.out_of_budget) return std::nullopt;  // space exhausted
+  }
+
+  // ---- stage 2: bitmatrix + arc consistency + branch fan-out ------------
+  ++stats_.escalations;
+  build_compat();
+  propagate_arc_consistency();
+  if (empty_domain_) return std::nullopt;
+
+  // Top-level variable: most constrained pattern (or pattern 0).
+  std::size_t p0 = 0;
+  if (opts_.most_constrained_first) {
+    int best_count = std::numeric_limits<int>::max();
+    for (std::size_t q = 0; q < m; ++q) {
+      const int c = std::popcount(domains_[q]);
+      if (c < best_count) {
+        best_count = c;
+        p0 = q;
+      }
+    }
+  }
+  std::vector<std::size_t> candidates;
+  for (std::uint64_t d = domains_[p0]; d != 0; d &= d - 1)
+    candidates.push_back(static_cast<std::size_t>(std::countr_zero(d)));
+  stats_.branches += candidates.size();
+
+  if (threads_ <= 1 || candidates.size() <= 1) {
+    // Sequential: branches run in ascending candidate order, so the first
+    // success is the lowest branch index by construction.
+    for (std::size_t i : candidates) {
+      dfs_engine engine(tables_, compat_.data(), opts_.forward_checking,
+                        opts_.most_constrained_first);
+      const bool hit = engine.run(domains_, p0, i);
+      stats_.nodes += engine.nodes;
+      stats_.forward_prunes += engine.prunes;
+      if (hit) return engine.choice;
+    }
+    return std::nullopt;
+  }
+
+  // Parallel fan-out over the experiment_runner pool. Branch k may be
+  // abandoned only when a branch with a lower index can no longer win, so
+  // the surviving minimum is the same assignment the sequential order
+  // finds.
+  std::atomic<std::size_t> best{npos};
+  std::vector<std::vector<std::size_t>> winners(candidates.size());
+  std::vector<std::uint64_t> nodes(candidates.size(), 0);
+  std::vector<std::uint64_t> prunes(candidates.size(), 0);
+  std::vector<run_spec> specs;
+  specs.reserve(candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    specs.push_back(
+        {"branch" + std::to_string(k), [&, k] {
+           dfs_engine engine(tables_, compat_.data(),
+                             opts_.forward_checking,
+                             opts_.most_constrained_first);
+           engine.best = &best;
+           engine.branch = k;
+           engine.deterministic = deterministic;
+           if (!engine.abandoned() &&
+               engine.run(domains_, p0, candidates[k])) {
+             winners[k] = engine.choice;
+             atomic_min(best, k);
+           }
+           nodes[k] = engine.nodes;
+           prunes[k] = engine.prunes;
+           return run_result{};
+         }});
+  }
+  const auto results = experiment_runner(threads_).run_all(specs);
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    // The runner captures branch exceptions into the result; a crashed
+    // branch must not read as "subtree exhausted" (that would turn e.g. a
+    // bad_alloc into a wrong UNSAT verdict).
+    if (!results[k].ok)
+      throw std::runtime_error("existence_solver: branch " +
+                               std::to_string(k) +
+                               " failed: " + results[k].error);
+    stats_.nodes += nodes[k];
+    stats_.forward_prunes += prunes[k];
+  }
+  const std::size_t winner = best.load(std::memory_order_relaxed);
+  if (winner == npos) return std::nullopt;
+  return winners[winner];
+}
+
+std::optional<gqs_witness> existence_solver::witness_from(
+    const std::vector<std::size_t>& choice) const {
+  quorum_family reads, writes;
+  std::vector<process_set> chosen_w, chosen_r;
+  for (std::size_t k = 0; k < tables_.size(); ++k) {
+    const process_set w = tables_[k].components[choice[k]];
+    const process_set r = tables_[k].reach_to[choice[k]];
+    writes.push_back(w);
+    reads.push_back(r);
+    chosen_w.push_back(w);
+    chosen_r.push_back(r);
+  }
+  generalized_quorum_system system(fps_, reads, writes);
+
+  termination_mapping tau;
+  for (std::size_t k = 0; k < fps_.size(); ++k)
+    tau.push_back(compute_u_f(system, fps_[k]));
+
+  return gqs_witness{std::move(system), std::move(chosen_w),
+                     std::move(chosen_r), std::move(tau)};
+}
+
+bool existence_solver::exists() { return search(false).has_value(); }
+
+std::optional<gqs_witness> existence_solver::solve() {
+  const auto choice = search(true);
+  if (!choice) return std::nullopt;
+  return witness_from(*choice);
+}
+
+}  // namespace gqs

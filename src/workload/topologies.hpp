@@ -1,0 +1,90 @@
+// topologies.hpp — the scenario corpus: structured network topologies and
+// parameterized crash/channel-failure families over them.
+//
+// The paper's network graph G is complete; a structured topology is
+// realized as a *failure scenario*: every ordered pair of correct
+// processes that is not an edge of the topology is a failed channel in the
+// pattern, and topology edges additionally fail with a configurable
+// probability. The residual graph G \ f of a scenario pattern is therefore
+// exactly the topology restricted to the pattern's correct processes,
+// minus the extra failed channels — which is what makes rings, grids and
+// stars interesting existence instances: their residuals fracture into
+// many SCCs with asymmetric reach-to sets, unlike the single-SCC residuals
+// the uniform random generator produces almost surely.
+//
+// This corpus replaces random_systems' single uniform family as the
+// instance source for property tests (tests/solver_test.cpp,
+// tests/random_gqs_property_test.cpp) and the scaling bench
+// (bench/bench_solver_scaling.cpp).
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/failure_pattern.hpp"
+#include "graph/digraph.hpp"
+
+namespace gqs {
+
+enum class topology_kind {
+  ring,       ///< cycle 0 → 1 → … → n−1 → 0; bidirectional optional
+  clique,     ///< complete digraph (the paper's G itself)
+  grid,       ///< 2-D mesh, row-major, 4-neighborhood, bidirectional
+  star,       ///< hub 0 ↔ every spoke
+  clusters,   ///< cliques of cluster_size; cluster heads form a ring
+  geometric,  ///< random points in the unit square, edge iff dist ≤ radius
+};
+
+std::string to_string(topology_kind kind);
+
+/// Shape parameters. Fields beyond `kind` and `n` apply to the kinds named
+/// in their comments and are ignored elsewhere.
+struct topology_params {
+  topology_kind kind = topology_kind::clique;
+  process_id n = 8;
+  bool bidirectional = true;       ///< ring: false gives the directed cycle
+  process_id cluster_size = 4;     ///< clusters: processes per clique
+  double radius = 0.5;             ///< geometric: connection radius
+  std::uint64_t placement_seed = 1;  ///< geometric: point placement
+};
+
+/// Builds the topology as a digraph on n vertices. Deterministic for a
+/// given parameter set (geometric placement is seeded).
+digraph make_topology(const topology_params& params);
+
+/// A failure family over a topology: how many patterns to draw and how
+/// much to break per pattern.
+struct scenario_params {
+  topology_params topology;
+  int patterns = 4;               ///< |F|
+  double crash_probability = 0.1;   ///< each process crashes independently
+  double channel_fail_probability = 0.1;  ///< each *topology* edge
+  bool keep_one_correct = true;   ///< force at least one correct process
+};
+
+/// Draws one scenario failure pattern over `network`: random crashes, all
+/// non-topology channels between correct processes failed, topology edges
+/// failed with channel_fail_probability.
+failure_pattern scenario_failure_pattern(const digraph& network,
+                                         const scenario_params& params,
+                                         std::mt19937_64& rng);
+
+/// Draws a fail-prone system of `params.patterns` scenario patterns over
+/// the topology of `params.topology` (built once).
+fail_prone_system scenario_system(const scenario_params& params,
+                                  std::mt19937_64& rng);
+
+/// A named entry of the standard corpus.
+struct scenario_family {
+  std::string name;
+  scenario_params params;
+};
+
+/// The standard scenario corpus: every topology kind across a ladder of
+/// system sizes up to max_n (n ≥ 4), with per-kind failure families tuned
+/// so both satisfiable and unsatisfiable instances occur. Names are
+/// unique; ordering is deterministic.
+std::vector<scenario_family> topology_corpus(process_id max_n);
+
+}  // namespace gqs

@@ -95,9 +95,16 @@ TEST_P(MinimizeSweep, RandomWitnessesStayValidAndNeverGrow) {
   random_system_params params;
   params.n = 5;
   params.patterns = 3;
+  int found = 0;
   for (int trial = 0; trial < 5; ++trial) {
     const auto witness = random_gqs(params, rng, 100);
-    if (!witness) continue;
+    if (!witness) {
+      // Attempts exhausted — now visible instead of a silent nullopt.
+      EXPECT_TRUE(witness.exhausted);
+      EXPECT_EQ(witness.attempts, witness.rejected);
+      continue;
+    }
+    ++found;
     const auto minimized = minimize_quorums(witness->system);
     const auto check = check_generalized(minimized);
     EXPECT_TRUE(check.ok) << check.reason;
@@ -107,6 +114,9 @@ TEST_P(MinimizeSweep, RandomWitnessesStayValidAndNeverGrow) {
       EXPECT_EQ(compute_u_f(minimized, witness->system.fps[i]),
                 witness->max_termination[i]);
   }
+  // The sweep must exercise at least one real witness per seed, or it
+  // proves nothing.
+  EXPECT_GT(found, 0) << "every trial exhausted its attempts";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeSweep, ::testing::Range(0u, 8u));

@@ -1,0 +1,233 @@
+// solver_test — the scalable existence solver (core/solver.hpp) against
+// the exhaustive oracle, across the topology scenario corpus and the
+// uniform random family, plus the parallel-search determinism contract.
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/factories.hpp"
+#include "core/random_systems.hpp"
+#include "workload/topologies.hpp"
+
+namespace gqs {
+namespace {
+
+TEST(Solver, Figure1Admits) {
+  const auto fig = make_figure1();
+  existence_solver solver(fig.gqs.fps);
+  EXPECT_TRUE(solver.exists());
+  const auto witness = solver.solve();
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(check_generalized(witness->system).ok);
+  EXPECT_GT(solver.stats().nodes, 0u);
+  // Figure 1 decides in the budgeted stage-1 search: no fan-out needed.
+  EXPECT_EQ(solver.stats().escalations, 0u);
+  EXPECT_EQ(solver.stats().branches, 0u);
+}
+
+TEST(Solver, Example9DoesNotAdmit) {
+  // The solver keeps a reference: the system must outlive it.
+  const auto fps = make_example9_variant();
+  existence_solver solver(fps);
+  EXPECT_FALSE(solver.exists());
+  EXPECT_FALSE(solver.solve().has_value());
+}
+
+TEST(Solver, EmptySystemThrows) {
+  EXPECT_THROW(existence_solver(fail_prone_system(3)), std::invalid_argument);
+}
+
+TEST(Solver, AgreesWithFindGqs) {
+  // find_gqs routes through the solver with default options; an explicit
+  // solver instance must produce the identical witness.
+  const auto fig = make_figure1();
+  const auto via_find = find_gqs(fig.gqs.fps);
+  existence_solver solver(fig.gqs.fps);
+  const auto via_solver = solver.solve();
+  ASSERT_TRUE(via_find.has_value());
+  ASSERT_TRUE(via_solver.has_value());
+  EXPECT_EQ(via_find->chosen_writes, via_solver->chosen_writes);
+  EXPECT_EQ(via_find->chosen_reads, via_solver->chosen_reads);
+  EXPECT_EQ(via_find->max_termination, via_solver->max_termination);
+}
+
+// The full topology corpus at small n: the solver's verdict matches the
+// exhaustive SCC-combination enumeration, and every witness passes the
+// complete Definition 2 check.
+TEST(Solver, CorpusCrossCheckAgainstExhaustive) {
+  int instances = 0, sat = 0, unsat = 0;
+  for (const scenario_family& family : topology_corpus(8)) {
+    for (unsigned seed = 0; seed < 3; ++seed) {
+      std::mt19937_64 rng(seed * 977 + 13);
+      const auto fps = scenario_system(family.params, rng);
+      const bool oracle = gqs_exists_exhaustive(fps);
+      existence_solver solver(fps);
+      const auto witness = solver.solve();
+      EXPECT_EQ(witness.has_value(), oracle)
+          << family.name << " seed " << seed;
+      existence_solver decider(fps);
+      EXPECT_EQ(decider.exists(), oracle) << family.name << " seed " << seed;
+      ++instances;
+      if (oracle) {
+        ++sat;
+        const auto check = check_generalized(witness->system);
+        EXPECT_TRUE(check.ok)
+            << family.name << " seed " << seed << ": " << check.reason;
+      } else {
+        ++unsat;
+      }
+    }
+  }
+  // The corpus must exercise both verdicts, or the cross-check is weak.
+  EXPECT_GT(instances, 20);
+  EXPECT_GT(sat, 0);
+  EXPECT_GT(unsat, 0);
+}
+
+// Every pruning feature disabled must not change any verdict — the
+// stripped configuration is essentially the seed backtracker running on
+// the bitmatrix.
+TEST(Solver, AblationConfigsAgreeOnCorpus) {
+  solver_options stripped;
+  stripped.arc_consistency = false;
+  stripped.forward_checking = false;
+  stripped.most_constrained_first = false;
+  solver_options mrv_only;
+  mrv_only.arc_consistency = false;
+  mrv_only.forward_checking = false;
+  for (const scenario_family& family : topology_corpus(6)) {
+    std::mt19937_64 rng(family.name.size() * 31 + 7);
+    const auto fps = scenario_system(family.params, rng);
+    existence_solver full(fps);
+    const bool verdict = full.exists();
+    EXPECT_EQ(existence_solver(fps, stripped).exists(), verdict)
+        << family.name << " (stripped)";
+    EXPECT_EQ(existence_solver(fps, mrv_only).exists(), verdict)
+        << family.name << " (mrv only)";
+  }
+}
+
+// Uniform random systems, as existence_test does for find_gqs — the
+// solver is the same code path, but keep an independent net here.
+TEST(Solver, UniformRandomCrossCheck) {
+  random_system_params params;
+  params.n = 5;
+  params.patterns = 4;
+  std::mt19937_64 rng(2026);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto fps = random_fail_prone_system(params, rng);
+    existence_solver solver(fps);
+    EXPECT_EQ(solver.exists(), gqs_exists_exhaustive(fps)) << trial;
+  }
+}
+
+// Determinism contract: the witness — quorum families, chosen components,
+// termination mapping — is bit-identical for 1, 2 and 8 worker threads.
+// stage1_node_budget = 1 forces the stage-2 escalation so the parallel
+// fan-out (not just the sequential stage-1 search) is what's under test.
+TEST(Solver, WitnessIdenticalForAnyThreadCount) {
+  int compared = 0;
+  for (const scenario_family& family : topology_corpus(12)) {
+    std::mt19937_64 rng(family.name.size() * 131 + 5);
+    const auto fps = scenario_system(family.params, rng);
+    solver_options opts;
+    opts.threads = 1;
+    opts.stage1_node_budget = 1;
+    existence_solver base(fps, opts);
+    const auto reference = base.solve();
+    EXPECT_GT(base.stats().escalations, 0u) << family.name;
+    for (unsigned threads : {2u, 8u}) {
+      solver_options par = opts;
+      par.threads = threads;
+      existence_solver solver(fps, par);
+      const auto witness = solver.solve();
+      ASSERT_EQ(witness.has_value(), reference.has_value())
+          << family.name << " threads " << threads;
+      if (!witness) continue;
+      EXPECT_EQ(witness->chosen_writes, reference->chosen_writes)
+          << family.name << " threads " << threads;
+      EXPECT_EQ(witness->chosen_reads, reference->chosen_reads)
+          << family.name << " threads " << threads;
+      EXPECT_EQ(witness->max_termination, reference->max_termination)
+          << family.name << " threads " << threads;
+      EXPECT_EQ(witness->system.reads, reference->system.reads);
+      EXPECT_EQ(witness->system.writes, reference->system.writes);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0) << "no satisfiable corpus instance exercised";
+}
+
+// The pattern tables the solver builds agree with the graph layer's
+// ground truth.
+TEST(PatternTable, MatchesDigraphGroundTruth) {
+  const auto fig = make_figure1();
+  for (const failure_pattern& f : fig.gqs.fps) {
+    const pattern_table t = build_pattern_table(f);
+    EXPECT_EQ(t.correct, f.correct());
+    const digraph residual = f.residual();
+    const auto sccs = residual.sccs();
+    ASSERT_EQ(t.components.size(), sccs.size());
+    process_set covered;
+    for (std::size_t i = 0; i < t.components.size(); ++i) {
+      covered |= t.components[i];
+      EXPECT_EQ(t.reach_to[i], residual.reach_to_all(t.components[i]));
+      for (process_id v : t.components[i]) {
+        EXPECT_EQ(t.scc[v], t.components[i]);
+        EXPECT_EQ(t.reach_from[v], residual.reachable_from(v));
+      }
+    }
+    EXPECT_EQ(covered, residual.present());
+    // Sorted by size descending, mask ascending.
+    for (std::size_t i = 1; i < t.components.size(); ++i) {
+      const auto &prev = t.components[i - 1], &cur = t.components[i];
+      EXPECT_TRUE(prev.size() > cur.size() ||
+                  (prev.size() == cur.size() && prev.mask() < cur.mask()));
+    }
+  }
+}
+
+TEST(Solver, StagedSearchAgreesWhenEscalationForced) {
+  // Forcing the stage-2 escalation (bitmatrix + arc consistency) must not
+  // change any verdict; Example 9 stays non-admitting and reports the
+  // escalation in its stats.
+  solver_options forced;
+  forced.stage1_node_budget = 1;
+  const auto example9_fps = make_example9_variant();
+  existence_solver example9(example9_fps, forced);
+  EXPECT_FALSE(example9.exists());
+  EXPECT_EQ(example9.stats().escalations, 1u);
+  for (const scenario_family& family : topology_corpus(8)) {
+    std::mt19937_64 rng(family.name.size() * 17 + 3);
+    const auto fps = scenario_system(family.params, rng);
+    existence_solver staged(fps);
+    existence_solver escalated(fps, forced);
+    EXPECT_EQ(staged.exists(), escalated.exists()) << family.name;
+  }
+}
+
+TEST(Solver, WitnessIdenticalAcrossStages) {
+  // A witness found by the budgeted stage-1 search and one found via the
+  // forced stage-2 fan-out are both valid; both must pass Definition 2
+  // even when they differ in shape.
+  for (const scenario_family& family : topology_corpus(8)) {
+    std::mt19937_64 rng(family.name.size() * 311 + 1);
+    const auto fps = scenario_system(family.params, rng);
+    solver_options forced;
+    forced.stage1_node_budget = 1;
+    existence_solver stage1(fps);
+    existence_solver stage2(fps, forced);
+    const auto w1 = stage1.solve();
+    const auto w2 = stage2.solve();
+    ASSERT_EQ(w1.has_value(), w2.has_value()) << family.name;
+    if (w1) {
+      EXPECT_TRUE(check_generalized(w1->system).ok) << family.name;
+      EXPECT_TRUE(check_generalized(w2->system).ok) << family.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gqs

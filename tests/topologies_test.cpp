@@ -1,0 +1,204 @@
+// topologies_test — shapes of the scenario-corpus topologies and the
+// failure families drawn over them.
+#include "workload/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gqs {
+namespace {
+
+topology_params make_params(topology_kind kind, process_id n) {
+  topology_params p;
+  p.kind = kind;
+  p.n = n;
+  return p;
+}
+
+TEST(Topologies, DirectedRingIsOneCycle) {
+  auto p = make_params(topology_kind::ring, 6);
+  p.bidirectional = false;
+  const digraph g = make_topology(p);
+  EXPECT_EQ(g.edge_count(), 6);
+  for (process_id v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.out_neighbors(v), process_set::singleton((v + 1) % 6));
+  }
+  // A directed cycle is strongly connected...
+  EXPECT_EQ(g.sccs().size(), 1u);
+  // ...but removing one edge fractures it into singletons — the shape the
+  // solver corpus leans on.
+  digraph broken = g;
+  broken.remove_edge(0, 1);
+  EXPECT_EQ(broken.sccs().size(), 6u);
+}
+
+TEST(Topologies, BidirectionalRingHasBothDirections) {
+  const digraph g = make_topology(make_params(topology_kind::ring, 5));
+  EXPECT_EQ(g.edge_count(), 10);
+  for (process_id v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.has_edge(v, (v + 1) % 5));
+    EXPECT_TRUE(g.has_edge((v + 1) % 5, v));
+  }
+}
+
+TEST(Topologies, CliqueIsComplete) {
+  const digraph g = make_topology(make_params(topology_kind::clique, 7));
+  EXPECT_EQ(g, digraph::complete(7));
+}
+
+TEST(Topologies, GridNineIsThreeByThree) {
+  const digraph g = make_topology(make_params(topology_kind::grid, 9));
+  EXPECT_EQ(g.edge_count(), 24);  // 12 undirected mesh edges
+  // Corner, edge and center degrees.
+  EXPECT_EQ(g.out_neighbors(0).size(), 2);  // corner
+  EXPECT_EQ(g.out_neighbors(1).size(), 3);  // edge midpoint
+  EXPECT_EQ(g.out_neighbors(4).size(), 4);  // center
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 4));  // no diagonals
+  EXPECT_EQ(g.sccs().size(), 1u);
+}
+
+TEST(Topologies, GridHandlesNonSquareCounts) {
+  // n = 7 → 2 rows × 4 cols with one missing cell; still connected.
+  const digraph g = make_topology(make_params(topology_kind::grid, 7));
+  EXPECT_EQ(g.sccs().size(), 1u);
+}
+
+TEST(Topologies, StarRoutesThroughHub) {
+  const digraph g = make_topology(make_params(topology_kind::star, 6));
+  EXPECT_EQ(g.out_neighbors(0).size(), 5);
+  for (process_id v = 1; v < 6; ++v) {
+    EXPECT_EQ(g.out_neighbors(v), process_set::singleton(0));
+    EXPECT_TRUE(g.has_edge(0, v));
+  }
+  EXPECT_EQ(g.sccs().size(), 1u);
+}
+
+TEST(Topologies, ClustersAreCliquesLinkedByHeads) {
+  auto p = make_params(topology_kind::clusters, 8);
+  p.cluster_size = 4;
+  const digraph g = make_topology(p);
+  // Intra-cluster cliques.
+  for (process_id u = 0; u < 4; ++u)
+    for (process_id v = 0; v < 4; ++v) {
+      if (u == v) continue;
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  for (process_id u = 4; u < 8; ++u)
+    for (process_id v = 4; v < 8; ++v) {
+      if (u == v) continue;
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  // Heads 0 and 4 are linked; non-heads across clusters are not.
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_FALSE(g.has_edge(1, 5));
+  EXPECT_EQ(g.sccs().size(), 1u);
+}
+
+TEST(Topologies, GeometricIsSeedDeterministicAndSymmetric) {
+  auto p = make_params(topology_kind::geometric, 10);
+  p.radius = 0.5;
+  p.placement_seed = 42;
+  const digraph a = make_topology(p);
+  const digraph b = make_topology(p);
+  EXPECT_EQ(a, b);
+  for (const edge& e : a.edges()) EXPECT_TRUE(a.has_edge(e.to, e.from));
+  // Radius √2 covers the unit square → complete; radius 0 → edgeless.
+  p.radius = 1.5;
+  EXPECT_EQ(make_topology(p), digraph::complete(10));
+  p.radius = 0.0;
+  EXPECT_EQ(make_topology(p).edge_count(), 0);
+}
+
+TEST(Topologies, RejectsBadParameters) {
+  EXPECT_THROW(make_topology(make_params(topology_kind::ring, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology(make_params(topology_kind::ring, 65)),
+               std::invalid_argument);
+  auto p = make_params(topology_kind::clusters, 8);
+  p.cluster_size = 0;
+  EXPECT_THROW(make_topology(p), std::invalid_argument);
+  EXPECT_THROW(topology_corpus(3), std::invalid_argument);
+}
+
+TEST(Scenarios, PatternRealizesTopologyAsResidual) {
+  scenario_params sp;
+  sp.topology = make_params(topology_kind::ring, 8);
+  sp.channel_fail_probability = 0.0;  // only the topology restriction
+  sp.crash_probability = 0.3;
+  const digraph network = make_topology(sp.topology);
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const failure_pattern f = scenario_failure_pattern(network, sp, rng);
+    EXPECT_FALSE(f.correct().empty());
+    const digraph residual = f.residual();
+    // Residual = topology restricted to correct processes, exactly.
+    for (process_id u : f.correct())
+      for (process_id v : f.correct()) {
+        if (u == v) continue;
+        EXPECT_EQ(residual.has_edge(u, v), network.has_edge(u, v))
+            << "(" << u << "," << v << ") trial " << trial;
+      }
+  }
+}
+
+TEST(Scenarios, ExtraChannelFailuresOnlyBreakTopologyEdges) {
+  scenario_params sp;
+  sp.topology = make_params(topology_kind::star, 8);
+  sp.channel_fail_probability = 0.5;
+  sp.crash_probability = 0.0;
+  const digraph network = make_topology(sp.topology);
+  std::mt19937_64 rng(11);
+  const failure_pattern f = scenario_failure_pattern(network, sp, rng);
+  const digraph residual = f.residual();
+  for (const edge& e : residual.edges())
+    EXPECT_TRUE(network.has_edge(e.from, e.to));
+}
+
+TEST(Scenarios, SystemHasRequestedShape) {
+  scenario_params sp;
+  sp.topology = make_params(topology_kind::grid, 9);
+  sp.patterns = 5;
+  std::mt19937_64 rng(3);
+  const fail_prone_system fps = scenario_system(sp, rng);
+  EXPECT_EQ(fps.system_size(), 9u);
+  EXPECT_EQ(fps.size(), 5u);
+}
+
+TEST(Corpus, NamesUniqueSizesBoundedAllKindsPresent) {
+  const auto corpus = topology_corpus(64);
+  ASSERT_FALSE(corpus.empty());
+  std::set<std::string> names;
+  std::set<std::string> kinds;
+  for (const scenario_family& family : corpus) {
+    EXPECT_TRUE(names.insert(family.name).second)
+        << "duplicate name " << family.name;
+    EXPECT_LE(family.params.topology.n, 64u);
+    EXPECT_GE(family.params.topology.n, 4u);
+    kinds.insert(to_string(family.params.topology.kind));
+  }
+  EXPECT_EQ(kinds.size(), 6u) << "every topology kind must appear";
+  // Shrinking the bound shrinks the corpus but never empties it.
+  const auto small = topology_corpus(4);
+  EXPECT_FALSE(small.empty());
+  EXPECT_LT(small.size(), corpus.size());
+  for (const scenario_family& family : small)
+    EXPECT_LE(family.params.topology.n, 4u);
+}
+
+TEST(Corpus, EveryFamilyProducesValidSystems) {
+  for (const scenario_family& family : topology_corpus(8)) {
+    std::mt19937_64 rng(1);
+    const fail_prone_system fps = scenario_system(family.params, rng);
+    EXPECT_EQ(fps.size(), static_cast<std::size_t>(family.params.patterns))
+        << family.name;
+    for (const failure_pattern& f : fps)
+      EXPECT_FALSE(f.correct().empty()) << family.name;
+  }
+}
+
+}  // namespace
+}  // namespace gqs
