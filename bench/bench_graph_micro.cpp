@@ -6,10 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <vector>
 
 #include "core/existence.hpp"
 #include "core/factories.hpp"
 #include "core/random_systems.hpp"
+#include "sim/message.hpp"
 
 namespace {
 
@@ -92,6 +94,74 @@ void bm_find_gqs_random(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_find_gqs_random)->Arg(5)->Arg(8)->Arg(12);
+
+// ---- message dispatch: tag compare vs dynamic_cast ----
+//
+// Every protocol deliver() resolves each incoming payload through a chain
+// of message_cast calls, and the transport mux unwraps one more layer per
+// delivery. make_message stamps each message with a per-type tag, so the
+// cast is a pointer compare; the benchmarks measure that against the
+// seed's dynamic_cast resolution on the same mixed stream (worst case:
+// the matching type is the last of five tried, exactly the generalized
+// QAF's deliver chain shape).
+
+struct dispatch_a : message { int x = 1; };
+struct dispatch_b : message { int x = 2; };
+struct dispatch_c : message { int x = 3; };
+struct dispatch_d : message { int x = 4; };
+struct dispatch_e : message { int x = 5; };
+
+std::vector<message_ptr> dispatch_stream() {
+  std::vector<message_ptr> stream;
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 1024; ++i) {
+    switch (rng() % 5) {
+      case 0: stream.push_back(make_message<dispatch_a>()); break;
+      case 1: stream.push_back(make_message<dispatch_b>()); break;
+      case 2: stream.push_back(make_message<dispatch_c>()); break;
+      case 3: stream.push_back(make_message<dispatch_d>()); break;
+      default: stream.push_back(make_message<dispatch_e>()); break;
+    }
+  }
+  return stream;
+}
+
+template <class M>
+const M* dynamic_cast_resolve(const message_ptr& m) {
+  return dynamic_cast<const M*>(m.get());
+}
+
+void bm_dispatch_tag(benchmark::State& state) {
+  const auto stream = dispatch_stream();
+  for (auto _ : state) {
+    int sum = 0;
+    for (const message_ptr& m : stream) {
+      if (const auto* a = message_cast<dispatch_a>(m)) sum += a->x;
+      else if (const auto* b = message_cast<dispatch_b>(m)) sum += b->x;
+      else if (const auto* c = message_cast<dispatch_c>(m)) sum += c->x;
+      else if (const auto* d = message_cast<dispatch_d>(m)) sum += d->x;
+      else if (const auto* e = message_cast<dispatch_e>(m)) sum += e->x;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(bm_dispatch_tag);
+
+void bm_dispatch_dynamic_cast(benchmark::State& state) {
+  const auto stream = dispatch_stream();
+  for (auto _ : state) {
+    int sum = 0;
+    for (const message_ptr& m : stream) {
+      if (const auto* a = dynamic_cast_resolve<dispatch_a>(m)) sum += a->x;
+      else if (const auto* b = dynamic_cast_resolve<dispatch_b>(m)) sum += b->x;
+      else if (const auto* c = dynamic_cast_resolve<dispatch_c>(m)) sum += c->x;
+      else if (const auto* d = dynamic_cast_resolve<dispatch_d>(m)) sum += d->x;
+      else if (const auto* e = dynamic_cast_resolve<dispatch_e>(m)) sum += e->x;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(bm_dispatch_dynamic_cast);
 
 }  // namespace
 

@@ -1,0 +1,387 @@
+// bench_service_throughput — the multi-object quorum service vs the seed
+// per-object path.
+//
+// Workload: 256 keys, zipfian (θ = 0.99) key popularity, 50/50 read/write
+// mix, writes partitioned into the issuing process's key range (which
+// makes final per-key states a pure function of the schedule — the basis
+// of the cross-engine check), driven over the Figure 1 GQS with no
+// failures. Identical operation schedules run through two engines:
+//
+//   replica — a faithful replica of the seed path: one mux_host per
+//             process hosting 256 independent atomic_register
+//             <generalized_qaf> components (exactly how the snapshot
+//             object and the KV example instantiated multiple objects),
+//             with the seed's strictly sequential one-op-per-client
+//             discipline;
+//   service — the quorum_service engine: one shared gossip stream with
+//             dirty-key batches, coalesced wire messages, per-key clocks,
+//             and a 4-deep per-process pipeline.
+//
+// Cross-checks before any timing is reported: both engines drive every
+// key to the same final (value, version) at every process, and every
+// per-key history of both engines passes the white-box Appendix-B
+// linearizability checker. The throughput grid fans across the PR-2
+// experiment runner; rerunning the service grid with a different thread
+// count must reproduce bit-identical client-visible results (final-state
+// digests, latencies, completion counts).
+//
+// Acceptance bar: service ops/sec ≥ 2× replica ops/sec (gated in CI via
+// bench/baselines.json). The record also carries per-key load (hottest
+// key share, max/mean ops per key — the Malkhi–Reiter–Wool load view)
+// and p50/p95/p99 operation latencies.
+#include "bench_main.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "core/factories.hpp"
+#include "lincheck/dependency_graph.hpp"
+#include "register/atomic_register.hpp"
+#include "register/keyed_register.hpp"
+#include "sim/runner.hpp"
+#include "sim/transport.hpp"
+#include "workload/clients.hpp"
+#include "workload/table.hpp"
+
+namespace {
+
+using namespace gqs;
+
+constexpr process_id kN = 4;
+constexpr service_key kKeys = 256;
+constexpr std::uint64_t kOpsPerProcess = 120;
+constexpr int kReps = 3;  // best-of per engine
+constexpr sim_time kHorizon = 600L * 1000 * 1000;
+constexpr sim_time kQuiesce = 200000;  // post-run gossip settle
+
+client_workload_options workload(int window) {
+  client_workload_options opts;
+  opts.keys = kKeys;
+  opts.zipf_theta = 0.99;
+  opts.read_ratio = 0.5;
+  opts.ops_per_process = kOpsPerProcess;
+  opts.inflight_window = window;
+  opts.partition_writes = true;
+  opts.seed = 20250730;
+  return opts;
+}
+
+// ---- the seed per-object path, reproduced faithfully ----
+
+class replica_host : public mux_host {
+ public:
+  using reg_component = atomic_register<generalized_qaf<reg_state>>;
+
+  replica_host(service_key keys, const quorum_config& qc,
+               generalized_qaf_options opts) {
+    for (service_key k = 0; k < keys; ++k)
+      regs_.push_back(&emplace_component<reg_component>(qc, reg_state{},
+                                                        opts));
+  }
+
+  reg_component* reg(service_key k) { return regs_[k]; }
+
+ private:
+  std::vector<reg_component*> regs_;
+};
+
+struct replica_adapter {
+  std::vector<replica_host*> hosts;
+
+  void write(process_id p, service_key key, reg_value x,
+             std::function<void(reg_version)> done) {
+    hosts[p]->reg(key)->write(x, std::move(done));
+  }
+  void read(process_id p, service_key key,
+            std::function<void(reg_value, reg_version)> done) {
+    hosts[p]->reg(key)->read(std::move(done));
+  }
+};
+
+// ---- one measured pass of either engine ----
+
+struct pass_result {
+  bool ok = false;
+  double ops_per_sec = 0;
+  double wall_s = 0;
+  std::uint64_t completed = 0;
+  std::vector<double> latencies_us;
+  std::vector<std::uint64_t> per_key_ops;
+  /// (value, version) per key at process 0 after quiesce.
+  std::vector<std::pair<reg_value, reg_version>> finals;
+  bool per_key_linearizable = true;
+  std::string lin_reason;
+  std::uint64_t gossip_entries = 0;  // service only
+  std::uint64_t events = 0;
+};
+
+template <class Driver>
+pass_result finish_pass(Driver& driver, simulation& sim,
+                        bool check_histories,
+                        const std::function<basic_reg_state<reg_value>(
+                            service_key)>& final_of) {
+  pass_result r;
+  driver.launch();
+  const auto begin = std::chrono::steady_clock::now();
+  const bool done = sim.run_until_condition(
+      [&] { return driver.done(); }, sim.now() + kHorizon);
+  const auto end = std::chrono::steady_clock::now();
+  if (!done) return r;
+  sim.run_until(sim.now() + kQuiesce);
+  r.ok = true;
+  r.wall_s = std::chrono::duration<double>(end - begin).count();
+  r.completed = driver.completed();
+  r.ops_per_sec = r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s
+                               : 0;
+  r.latencies_us = driver.latencies_us();
+  r.per_key_ops = driver.per_key_ops();
+  r.events = sim.metrics().events_processed;
+  r.finals.reserve(kKeys);
+  for (service_key k = 0; k < kKeys; ++k) {
+    const auto s = final_of(k);
+    r.finals.emplace_back(s.value, s.version);
+  }
+  if (check_histories) {
+    for (service_key k = 0; k < kKeys && r.per_key_linearizable; ++k) {
+      const register_history h = driver.history_of(k);
+      if (h.empty()) continue;
+      const auto lin = check_dependency_graph(h);
+      if (!lin.linearizable) {
+        r.per_key_linearizable = false;
+        r.lin_reason = "key " + std::to_string(k) + ": " + lin.reason;
+      }
+    }
+  }
+  return r;
+}
+
+pass_result service_pass(std::uint64_t seed, int window,
+                         bool check_histories) {
+  const auto fig = make_figure1();
+  simulation sim(kN, network_options{}, fault_plan::none(kN), seed);
+  std::vector<keyed_register_node*> nodes;
+  for (process_id p = 0; p < kN; ++p) {
+    auto comp = std::make_unique<keyed_register_node>(
+        kKeys, quorum_config::of(fig.gqs), service_options{});
+    nodes.push_back(comp.get());
+    sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+  }
+  sim.start();
+  sim.run_until(0);
+  keyed_node_adapter<keyed_register_node> adapter{nodes};
+  workload_driver<keyed_node_adapter<keyed_register_node>> driver(
+      sim, std::move(adapter), workload(window));
+  auto r = finish_pass(driver, sim, check_histories,
+                       [&](service_key k) { return nodes[0]->local_state(k); });
+  for (const auto* n : nodes) r.gossip_entries += n->counters().gossip_entries_sent;
+  // Convergence within the engine: every process agrees with process 0.
+  for (process_id p = 1; p < kN && r.ok; ++p)
+    for (service_key k = 0; k < kKeys; ++k)
+      if (!(nodes[p]->local_state(k).value == r.finals[k].first &&
+            nodes[p]->local_state(k).version == r.finals[k].second)) {
+        r.ok = false;
+        r.lin_reason = "service replicas diverge at key " +
+                       std::to_string(k);
+      }
+  return r;
+}
+
+pass_result replica_pass(std::uint64_t seed, bool check_histories) {
+  const auto fig = make_figure1();
+  simulation sim(kN, network_options{}, fault_plan::none(kN), seed);
+  std::vector<replica_host*> hosts;
+  for (process_id p = 0; p < kN; ++p) {
+    auto host = std::make_unique<replica_host>(
+        kKeys, quorum_config::of(fig.gqs), generalized_qaf_options{});
+    hosts.push_back(host.get());
+    sim.set_node(p, std::move(host));
+  }
+  sim.start();
+  sim.run_until(0);
+  replica_adapter adapter{hosts};
+  // The seed client discipline: strictly sequential, one op in flight.
+  workload_driver<replica_adapter> driver(sim, std::move(adapter),
+                                          workload(1));
+  auto r = finish_pass(driver, sim, check_histories,
+                       [&](service_key k) {
+                         return hosts[0]->reg(k)->local_state();
+                       });
+  for (process_id p = 1; p < kN && r.ok; ++p)
+    for (service_key k = 0; k < kKeys; ++k) {
+      const auto& s = hosts[p]->reg(k)->local_state();
+      if (!(s.value == r.finals[k].first &&
+            s.version == r.finals[k].second)) {
+        r.ok = false;
+        r.lin_reason = "replica replicas diverge at key " +
+                       std::to_string(k);
+      }
+    }
+  return r;
+}
+
+std::uint64_t finals_digest(const pass_result& r) {
+  std::uint64_t d = 0xcbf29ce484222325ull;
+  auto mix = [&](std::uint64_t x) {
+    d ^= x;
+    d *= 0x100000001b3ull;
+  };
+  for (const auto& [value, version] : r.finals) {
+    mix(static_cast<std::uint64_t>(value));
+    mix(version.number);
+    mix(version.writer);
+  }
+  return d;
+}
+
+}  // namespace
+
+int bench_entry() {
+  std::cout << "bench_service_throughput — multi-object quorum service vs "
+               "the seed per-object path\n";
+  print_heading(
+      std::to_string(kKeys) + "-key zipfian mixed workload, " +
+      std::to_string(kN) + " processes x " + std::to_string(kOpsPerProcess) +
+      " ops, figure-1 GQS (best of " + std::to_string(kReps) + ")");
+
+  // ---- correctness cross-check (one seed, full history verification) ----
+  const pass_result svc_check = service_pass(1, 4, true);
+  const pass_result rep_check = replica_pass(1, true);
+  if (!svc_check.ok || !rep_check.ok) {
+    std::cerr << "cross-check run failed: " << svc_check.lin_reason
+              << rep_check.lin_reason << "\n";
+    return 1;
+  }
+  if (!svc_check.per_key_linearizable || !rep_check.per_key_linearizable) {
+    std::cerr << "per-key linearizability violated: "
+              << svc_check.lin_reason << rep_check.lin_reason << "\n";
+    return 1;
+  }
+  if (svc_check.completed != rep_check.completed) {
+    std::cerr << "op counts diverge\n";
+    return 1;
+  }
+  for (service_key k = 0; k < kKeys; ++k)
+    if (svc_check.finals[k] != rep_check.finals[k]) {
+      std::cerr << "final state of key " << k
+                << " diverges between engines\n";
+      return 1;
+    }
+  std::cout << "cross-check: " << svc_check.completed
+            << " ops per engine, identical final states on all " << kKeys
+            << " keys, all per-key histories linearizable\n";
+
+  // ---- runner-thread determinism of client-visible results ----
+  auto service_cell = [](std::uint64_t seed) {
+    return [seed] {
+      const pass_result p = service_pass(seed, 4, false);
+      run_result r;
+      r.ok = p.ok;
+      r.latencies_us = p.latencies_us;
+      r.stats["completed"] = static_cast<double>(p.completed);
+      const std::uint64_t digest = finals_digest(p);
+      r.stats["digest_hi"] = static_cast<double>(digest >> 32);
+      r.stats["digest_lo"] = static_cast<double>(digest & 0xffffffffull);
+      r.stats["ops_per_sec"] = p.ops_per_sec;
+      return r;
+    };
+  };
+  std::vector<run_spec> det_specs;
+  for (std::uint64_t s = 2; s < 5; ++s)
+    det_specs.push_back({"svc-" + std::to_string(s), service_cell(s)});
+  const auto det1 = experiment_runner(1).run_all(det_specs);
+  const auto det2 = experiment_runner(2).run_all(det_specs);
+  for (std::size_t i = 0; i < det_specs.size(); ++i) {
+    const bool same =
+        det1[i].ok == det2[i].ok &&
+        det1[i].latencies_us == det2[i].latencies_us &&
+        stat_or(det1[i], "completed") == stat_or(det2[i], "completed") &&
+        stat_or(det1[i], "digest_hi") == stat_or(det2[i], "digest_hi") &&
+        stat_or(det1[i], "digest_lo") == stat_or(det2[i], "digest_lo");
+    if (!same) {
+      std::cerr << "client-visible results differ across runner thread "
+                   "counts (cell "
+                << det_specs[i].label << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "determinism: " << det_specs.size()
+            << " service cells bit-identical across 1- and 2-thread "
+               "runners\n";
+
+  // ---- throughput (best-of passes, interleaved) ----
+  double svc_best = 0, rep_best = 0;
+  std::uint64_t svc_events = 0, rep_events = 0, gossip_entries = 0;
+  sample_accumulator svc_latency;
+  std::vector<std::uint64_t> per_key;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t seed = 7 + static_cast<std::uint64_t>(rep);
+    const pass_result s = service_pass(seed, 4, false);
+    const pass_result r = replica_pass(seed, false);
+    if (!s.ok || !r.ok) {
+      std::cerr << "throughput pass failed\n";
+      return 1;
+    }
+    if (s.ops_per_sec > svc_best) {
+      svc_best = s.ops_per_sec;
+      svc_events = s.events;
+      gossip_entries = s.gossip_entries;
+      per_key = s.per_key_ops;
+      svc_latency = sample_accumulator();
+      svc_latency.add(s.latencies_us);
+    }
+    if (r.ops_per_sec > rep_best) {
+      rep_best = r.ops_per_sec;
+      rep_events = r.events;
+    }
+  }
+  const double speedup = rep_best > 0 ? svc_best / rep_best : 0;
+
+  // Per-key load: the zipfian skew as actually served.
+  std::uint64_t total_ops = 0, max_key = 0;
+  for (std::uint64_t c : per_key) {
+    total_ops += c;
+    max_key = std::max(max_key, c);
+  }
+  const double top_share =
+      total_ops > 0 ? static_cast<double>(max_key) /
+                          static_cast<double>(total_ops)
+                    : 0;
+  const sample_summary lat = svc_latency.summary();
+
+  text_table t({"engine", "ops/sec", "sim events", "notes"});
+  t.add_row({"replica (256 per-object QAFs, window 1)",
+             fmt_count(static_cast<std::uint64_t>(rep_best)),
+             fmt_count(rep_events), "seed path"});
+  t.add_row({"service (shared engine, window 4)",
+             fmt_count(static_cast<std::uint64_t>(svc_best)),
+             fmt_count(svc_events),
+             "gossip entries " + fmt_count(gossip_entries)});
+  t.print();
+  std::cout << "\nspeedup (service/replica): " << fmt_double(speedup, 2)
+            << "x — acceptance bar 2.0x\n";
+  std::cout << "service latency p50/p95/p99: " << fmt_double(lat.p50 / 1000)
+            << " / " << fmt_double(lat.p95 / 1000) << " / "
+            << fmt_double(lat.p99 / 1000) << " ms; hottest key "
+            << fmt_double(100 * top_share, 1) << "% of "
+            << fmt_count(total_ops) << " ops\n";
+
+  gqs_bench::record("service_ops_per_sec", svc_best);
+  gqs_bench::record("replica_ops_per_sec", rep_best);
+  gqs_bench::record("speedup", speedup);
+  gqs_bench::record("latency_p50_us", lat.p50);
+  gqs_bench::record("latency_p95_us", lat.p95);
+  gqs_bench::record("latency_p99_us", lat.p99);
+  gqs_bench::record("per_key_load_max", static_cast<std::uint64_t>(max_key));
+  gqs_bench::record("per_key_load_mean",
+                    total_ops > 0
+                        ? static_cast<double>(total_ops) / kKeys
+                        : 0.0);
+  gqs_bench::record("per_key_top_share", top_share);
+  gqs_bench::record("workload_keys", static_cast<std::uint64_t>(kKeys));
+  gqs_bench::record("workload_ops", total_ops);
+  gqs_bench::record("service_gossip_entries", gossip_entries);
+
+  return speedup >= 2.0 ? 0 : 1;
+}

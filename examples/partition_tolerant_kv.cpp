@@ -4,9 +4,10 @@
 // The motivating workload of the paper's introduction: cloud systems that
 // must survive *partial* partitions (Alquraan et al., OSDI'18) where
 // connectivity is lost in one direction only. This example builds a small
-// KV store as a set of MWMR atomic registers (one per key slot) running
-// over the generalized quorum system of Figure 1, multiplexed on one
-// endpoint per process (the same mux machinery the snapshot object uses).
+// KV store whose key slots are keys of one multi-object quorum service
+// (keyed_register over quorum_service) running the generalized quorum
+// system of Figure 1 — one shared engine per process instead of the
+// seed's per-slot register components.
 //
 // Under failure pattern f1, processes a and b keep executing puts and gets
 // with linearizable semantics even though:
@@ -19,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "register/atomic_register.hpp"
+#include "register/keyed_register.hpp"
 #include "workload/table.hpp"
 #include "workload/worlds.hpp"
 
@@ -27,38 +28,38 @@ namespace {
 
 using namespace gqs;
 
-/// A KV node: `slots` independent registers multiplexed over one flooding
+/// A KV node: `slots` logical registers behind one quorum service
 /// endpoint. Keys hash onto slots; values are strings.
-class kv_node : public mux_host {
+class kv_node : public single_host {
  public:
-  using kv_register =
-      atomic_register<generalized_qaf<basic_reg_state<std::string>>>;
+  using kv_service = keyed_register<std::string>;
 
-  kv_node(int slots, const quorum_config& config) {
-    for (int s = 0; s < slots; ++s)
-      slots_.push_back(&emplace_component<kv_register>(
-          config, basic_reg_state<std::string>{},
-          generalized_qaf_options{}));
-  }
+  kv_node(service_key slots, const quorum_config& config)
+      : single_host(std::make_unique<kv_service>(slots, config,
+                                                 service_options{})),
+        service_(&as<kv_service>()),
+        slots_(slots) {}
 
   void put(const std::string& key, std::string value,
            std::function<void()> done) {
-    slot_of(key)->write(std::move(value),
-                        [done = std::move(done)](reg_version) { done(); });
+    service_->write(slot_of(key), std::move(value),
+                    [done = std::move(done)](reg_version) { done(); });
   }
 
   void get(const std::string& key,
            std::function<void(std::string)> done) {
-    slot_of(key)->read([done = std::move(done)](std::string v, reg_version) {
-      done(std::move(v));
-    });
+    service_->read(slot_of(key),
+                   [done = std::move(done)](std::string v, reg_version) {
+                     done(std::move(v));
+                   });
   }
 
  private:
-  kv_register* slot_of(const std::string& key) {
-    return slots_[std::hash<std::string>{}(key) % slots_.size()];
+  service_key slot_of(const std::string& key) const {
+    return static_cast<service_key>(std::hash<std::string>{}(key) % slots_);
   }
-  std::vector<kv_register*> slots_;
+  kv_service* service_;
+  service_key slots_;
 };
 
 }  // namespace

@@ -13,16 +13,19 @@
 //
 // Dropping either breaks Real-time ordering (Theorem 3's proof uses both):
 // a "push-only" quorum_get may assemble a read quorum from *stale* cached
-// gossip that predates a completed quorum_set. This header implements the
-// weakened protocol behind two switches so the effect of each wait can be
-// measured; the register built on top then exhibits machine-detectable
-// non-linearizable histories (stale reads / new-old inversions).
+// gossip that predates a completed quorum_set. The weakened protocol is
+// the shared engine core (qaf_core.hpp's push_qaf) with the corresponding
+// wait switched off, so the effect of each wait can be measured; the
+// register built on top then exhibits machine-detectable non-linearizable
+// histories (stale reads / new-old inversions).
 //
 // This is NOT part of the supported API — it exists to demonstrate that
 // the paper's mechanism is load-bearing.
 #pragma once
 
-#include "quorum/qaf_generalized.hpp"
+#include <utility>
+
+#include "quorum/qaf_core.hpp"
 #include "register/atomic_register.hpp"
 
 namespace gqs {
@@ -44,198 +47,21 @@ struct ablated_qaf_options {
 };
 
 template <class S>
-class ablated_qaf : public quorum_access<S> {
+class ablated_qaf : public push_qaf<S> {
  public:
-  using typename quorum_access<S>::update_fn;
-  using typename quorum_access<S>::get_callback;
-  using typename quorum_access<S>::set_callback;
-
   ablated_qaf(quorum_config config, S initial, ablated_qaf_options options)
-      : config_(std::move(config)),
-        options_(options),
-        state_(std::move(initial)),
-        clock_(options.initial_clock) {
-    config_.validate();
-  }
-
-  void quorum_get(get_callback done) override {
-    const std::uint64_t seq = ++seq_;
-    const auto it = gets_.emplace(seq, pending_get{}).first;
-    it->second.done = std::move(done);
-    if (options_.use_get_cutoff) {
-      this->broadcast(make_message<clock_req>(seq));
-    } else {
-      it->second.have_cutoff = true;  // c_get = 0: any gossip qualifies
-      recheck_waits();
-    }
-  }
-
-  void quorum_set(update_fn u, set_callback done) override {
-    const std::uint64_t seq = ++seq_;
-    sets_[seq].done = std::move(done);
-    this->broadcast(make_message<set_req>(seq, std::move(u)));
-  }
-
-  const S& local_state() const override { return state_; }
-
- protected:
-  void start() override { arm_gossip_timer(); }
-
-  void on_timeout(int) override {
-    ++clock_;
-    this->broadcast(make_message<gossip>(state_, clock_));
-    arm_gossip_timer();
-  }
-
-  void deliver(process_id origin, const message_ptr& payload) override {
-    if (const auto* m = message_cast<gossip>(payload)) {
-      auto& entry = last_gossip_[origin];
-      if (!entry || entry->clock < m->clock)
-        entry = gossip_entry{m->state, m->clock};
-      recheck_waits();
-    } else if (const auto* m = message_cast<clock_req>(payload)) {
-      this->unicast(origin, make_message<clock_resp>(m->seq, clock_));
-    } else if (const auto* m = message_cast<clock_resp>(payload)) {
-      on_clock_resp(origin, *m);
-    } else if (const auto* m = message_cast<set_req>(payload)) {
-      state_ = m->update(state_);
-      ++clock_;
-      this->unicast(origin, make_message<set_resp>(m->seq, clock_));
-    } else if (const auto* m = message_cast<set_resp>(payload)) {
-      on_set_resp(origin, *m);
-    }
-  }
+      : push_qaf<S>(std::move(config), std::move(initial),
+                    to_core(options)) {}
 
  private:
-  struct gossip : message {
-    S state;
-    std::uint64_t clock;
-    gossip(S s, std::uint64_t c) : state(std::move(s)), clock(c) {}
-  };
-  struct clock_req : message {
-    std::uint64_t seq;
-    explicit clock_req(std::uint64_t k) : seq(k) {}
-  };
-  struct clock_resp : message {
-    std::uint64_t seq;
-    std::uint64_t clock;
-    clock_resp(std::uint64_t k, std::uint64_t c) : seq(k), clock(c) {}
-  };
-  struct set_req : message {
-    std::uint64_t seq;
-    typename quorum_access<S>::update_fn update;
-    set_req(std::uint64_t k, typename quorum_access<S>::update_fn u)
-        : seq(k), update(std::move(u)) {}
-  };
-  struct set_resp : message {
-    std::uint64_t seq;
-    std::uint64_t clock;
-    set_resp(std::uint64_t k, std::uint64_t c) : seq(k), clock(c) {}
-  };
-
-  struct pending_get {
-    get_callback done;
-    bool have_cutoff = false;
-    std::uint64_t c_get = 0;
-    std::map<process_id, std::uint64_t> clock_resps;
-  };
-  struct pending_set {
-    set_callback done;
-    bool have_cutoff = false;
-    std::uint64_t c_set = 0;
-    std::map<process_id, std::uint64_t> set_resps;
-  };
-  struct gossip_entry {
-    S state;
-    std::uint64_t clock;
-  };
-
-  void arm_gossip_timer() { this->set_timer(options_.gossip_period); }
-
-  void on_clock_resp(process_id from, const clock_resp& m) {
-    const auto it = gets_.find(m.seq);
-    if (it == gets_.end() || it->second.have_cutoff) return;
-    it->second.clock_resps.insert_or_assign(from, m.clock);
-    process_set responders;
-    for (const auto& [p, c] : it->second.clock_resps) responders.insert(p);
-    const auto w_get = covered_quorum(config_.writes, responders);
-    if (!w_get) return;
-    std::uint64_t cutoff = 0;
-    for (process_id p : *w_get)
-      cutoff = std::max(cutoff, it->second.clock_resps.at(p));
-    it->second.have_cutoff = true;
-    it->second.c_get = cutoff;
-    recheck_waits();
+  static push_qaf_options to_core(const ablated_qaf_options& o) {
+    push_qaf_options core;
+    core.gossip_period = o.gossip_period;
+    core.use_get_cutoff = o.use_get_cutoff;
+    core.use_set_confirmation = o.use_set_confirmation;
+    core.initial_clock = o.initial_clock;
+    return core;
   }
-
-  void on_set_resp(process_id from, const set_resp& m) {
-    const auto it = sets_.find(m.seq);
-    if (it == sets_.end() || it->second.have_cutoff) return;
-    it->second.set_resps.insert_or_assign(from, m.clock);
-    process_set responders;
-    for (const auto& [p, c] : it->second.set_resps) responders.insert(p);
-    const auto w_set = covered_quorum(config_.writes, responders);
-    if (!w_set) return;
-    if (!options_.use_set_confirmation) {
-      auto done = std::move(it->second.done);
-      sets_.erase(it);
-      done();
-      recheck_waits();
-      return;
-    }
-    std::uint64_t cutoff = 0;
-    for (process_id p : *w_set)
-      cutoff = std::max(cutoff, it->second.set_resps.at(p));
-    it->second.have_cutoff = true;
-    it->second.c_set = cutoff;
-    recheck_waits();
-  }
-
-  std::optional<process_set> read_quorum_at_clock(std::uint64_t cutoff) const {
-    process_set fresh;
-    for (const auto& [p, entry] : last_gossip_)
-      if (entry && entry->clock >= cutoff) fresh.insert(p);
-    return covered_quorum(config_.reads, fresh);
-  }
-
-  void recheck_waits() {
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (auto it = gets_.begin(); it != gets_.end(); ++it) {
-        if (!it->second.have_cutoff) continue;
-        const auto r_get = read_quorum_at_clock(it->second.c_get);
-        if (!r_get) continue;
-        std::vector<S> states;
-        for (process_id p : *r_get)
-          states.push_back(last_gossip_.at(p)->state);
-        auto done = std::move(it->second.done);
-        gets_.erase(it);
-        done(std::move(states));
-        progress = true;
-        break;
-      }
-      if (progress) continue;
-      for (auto it = sets_.begin(); it != sets_.end(); ++it) {
-        if (!it->second.have_cutoff) continue;
-        if (!read_quorum_at_clock(it->second.c_set)) continue;
-        auto done = std::move(it->second.done);
-        sets_.erase(it);
-        done();
-        progress = true;
-        break;
-      }
-    }
-  }
-
-  quorum_config config_;
-  ablated_qaf_options options_;
-  S state_;
-  std::uint64_t seq_ = 0;
-  std::uint64_t clock_;
-  std::map<process_id, std::optional<gossip_entry>> last_gossip_;
-  std::map<std::uint64_t, pending_get> gets_;
-  std::map<std::uint64_t, pending_set> sets_;
 };
 
 /// Figure 4 register over the weakened access functions.

@@ -21,11 +21,9 @@
 // Figure 3; bench E6 demonstrates this.
 #pragma once
 
-#include <map>
 #include <utility>
 
-#include "quorum/quorum_access.hpp"
-#include "quorum/quorum_config.hpp"
+#include "quorum/qaf_core.hpp"
 
 namespace gqs {
 
@@ -95,24 +93,21 @@ class classical_qaf : public quorum_access<S> {
   };
 
   struct pending_get {
-    std::map<process_id, S> responses;
+    quorum_response_collector<S> responses;
     get_callback done;
   };
   struct pending_set {
-    process_set responders;
+    quorum_cover_tracker responders;
     set_callback done;
   };
 
   void on_get_resp(process_id from, const get_resp& m) {
     const auto it = gets_.find(m.seq);
     if (it == gets_.end()) return;
-    it->second.responses.insert_or_assign(from, m.state);
-    process_set responders;
-    for (const auto& [p, s] : it->second.responses) responders.insert(p);
-    const auto quorum = covered_quorum(config_.reads, responders);
+    const auto quorum = it->second.responses.add(from, m.state,
+                                                 config_.reads);
     if (!quorum) return;
-    std::vector<S> states;
-    for (process_id p : *quorum) states.push_back(it->second.responses.at(p));
+    std::vector<S> states = it->second.responses.gather(*quorum);
     auto done = std::move(it->second.done);
     gets_.erase(it);  // erase before invoking: callback may start a new op
     done(std::move(states));
@@ -121,8 +116,7 @@ class classical_qaf : public quorum_access<S> {
   void on_set_resp(process_id from, const set_resp& m) {
     const auto it = sets_.find(m.seq);
     if (it == sets_.end()) return;
-    it->second.responders.insert(from);
-    if (!covered_quorum(config_.writes, it->second.responders)) return;
+    if (!it->second.responders.add(from, config_.writes)) return;
     auto done = std::move(it->second.done);
     sets_.erase(it);
     done();

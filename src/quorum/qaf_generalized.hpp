@@ -22,16 +22,16 @@
 // Real-time ordering follows from Lemma 1 / Theorem 3; liveness
 // ((F, τ)-wait-freedom with τ(f) = U_f) from Theorem 4. The tests replay
 // both arguments operationally.
+//
+// The protocol body lives in the shared engine core (qaf_core.hpp's
+// push_qaf); this header pins its options to the published protocol. The
+// multi-object quorum_service runs the same machinery batched over many
+// keys.
 #pragma once
 
-#include <map>
-#include <optional>
 #include <utility>
-#include <vector>
 
-#include "quorum/quorum_access.hpp"
-#include "quorum/quorum_config.hpp"
-#include "sim/time.hpp"
+#include "quorum/qaf_core.hpp"
 
 namespace gqs {
 
@@ -46,211 +46,20 @@ struct generalized_qaf_options {
 };
 
 template <class S>
-class generalized_qaf : public quorum_access<S> {
+class generalized_qaf : public push_qaf<S> {
  public:
-  using typename quorum_access<S>::update_fn;
-  using typename quorum_access<S>::get_callback;
-  using typename quorum_access<S>::set_callback;
-
   generalized_qaf(quorum_config config, S initial,
                   generalized_qaf_options options = {})
-      : config_(std::move(config)),
-        options_(options),
-        state_(std::move(initial)) {
-    config_.validate();
-    options_.validate();
-  }
-
-  // Figure 3, lines 3-9.
-  void quorum_get(get_callback done) override {
-    const std::uint64_t seq = ++seq_;
-    gets_[seq].done = std::move(done);
-    this->broadcast(make_message<clock_req>(seq));
-  }
-
-  // Figure 3, lines 15-20.
-  void quorum_set(update_fn u, set_callback done) override {
-    const std::uint64_t seq = ++seq_;
-    sets_[seq].done = std::move(done);
-    this->broadcast(make_message<set_req>(seq, std::move(u)));
-  }
-
-  const S& local_state() const override { return state_; }
-  std::uint64_t logical_clock() const noexcept { return clock_; }
-
- protected:
-  void start() override { arm_gossip_timer(); }
-
-  void on_timeout(int) override {
-    // Figure 3, lines 12-14: advance the clock and push state unprompted.
-    ++clock_;
-    this->broadcast(make_message<gossip>(state_, clock_));
-    arm_gossip_timer();
-  }
-
-  void deliver(process_id origin, const message_ptr& payload) override {
-    if (const auto* m = message_cast<gossip>(payload)) {
-      on_gossip(origin, *m);
-    } else if (const auto* m = message_cast<clock_req>(payload)) {
-      // Figure 3, lines 10-11.
-      this->unicast(origin, make_message<clock_resp>(m->seq, clock_));
-    } else if (const auto* m = message_cast<clock_resp>(payload)) {
-      on_clock_resp(origin, *m);
-    } else if (const auto* m = message_cast<set_req>(payload)) {
-      // Figure 3, lines 21-24.
-      state_ = m->update(state_);
-      ++clock_;
-      this->unicast(origin, make_message<set_resp>(m->seq, clock_));
-    } else if (const auto* m = message_cast<set_resp>(payload)) {
-      on_set_resp(origin, *m);
-    }
-  }
+      : push_qaf<S>(std::move(config), std::move(initial),
+                    to_core(options)) {}
 
  private:
-  // ---- messages ----
-  struct gossip : message {  // the paper's unsolicited GET_RESP(state, clock)
-    S state;
-    std::uint64_t clock;
-    gossip(S s, std::uint64_t c) : state(std::move(s)), clock(c) {}
-    std::string debug_name() const override { return "GET_RESP"; }
-  };
-  struct clock_req : message {
-    std::uint64_t seq;
-    explicit clock_req(std::uint64_t k) : seq(k) {}
-    std::string debug_name() const override { return "CLOCK_REQ"; }
-  };
-  struct clock_resp : message {
-    std::uint64_t seq;
-    std::uint64_t clock;
-    clock_resp(std::uint64_t k, std::uint64_t c) : seq(k), clock(c) {}
-    std::string debug_name() const override { return "CLOCK_RESP"; }
-  };
-  struct set_req : message {
-    std::uint64_t seq;
-    typename quorum_access<S>::update_fn update;
-    set_req(std::uint64_t k, typename quorum_access<S>::update_fn u)
-        : seq(k), update(std::move(u)) {}
-    std::string debug_name() const override { return "SET_REQ"; }
-  };
-  struct set_resp : message {
-    std::uint64_t seq;
-    std::uint64_t clock;
-    set_resp(std::uint64_t k, std::uint64_t c) : seq(k), clock(c) {}
-    std::string debug_name() const override { return "SET_RESP"; }
-  };
-
-  // ---- pending operations ----
-  struct pending_get {
-    get_callback done;
-    bool have_cutoff = false;
-    std::uint64_t c_get = 0;
-    std::map<process_id, std::uint64_t> clock_resps;
-  };
-  struct pending_set {
-    set_callback done;
-    bool have_cutoff = false;
-    std::uint64_t c_set = 0;
-    std::map<process_id, std::uint64_t> set_resps;
-  };
-
-  void arm_gossip_timer() { this->set_timer(options_.gossip_period); }
-
-  void on_gossip(process_id origin, const gossip& m) {
-    auto& entry = last_gossip_[origin];
-    if (!entry || entry->clock < m.clock)
-      entry = gossip_entry{m.state, m.clock};
-    recheck_waits();
+  static push_qaf_options to_core(generalized_qaf_options o) {
+    o.validate();
+    push_qaf_options core;
+    core.gossip_period = o.gossip_period;
+    return core;  // both waits on, clock starts at 0: Figure 3 verbatim
   }
-
-  void on_clock_resp(process_id from, const clock_resp& m) {
-    const auto it = gets_.find(m.seq);
-    if (it == gets_.end() || it->second.have_cutoff) return;
-    it->second.clock_resps.insert_or_assign(from, m.clock);
-    process_set responders;
-    for (const auto& [p, c] : it->second.clock_resps) responders.insert(p);
-    // Line 6: wait for CLOCK_RESPs from all members of some write quorum.
-    const auto w_get = covered_quorum(config_.writes, responders);
-    if (!w_get) return;
-    // Line 7: c_get = max clock among that write quorum.
-    std::uint64_t cutoff = 0;
-    for (process_id p : *w_get)
-      cutoff = std::max(cutoff, it->second.clock_resps.at(p));
-    it->second.have_cutoff = true;
-    it->second.c_get = cutoff;
-    recheck_waits();
-  }
-
-  void on_set_resp(process_id from, const set_resp& m) {
-    const auto it = sets_.find(m.seq);
-    if (it == sets_.end() || it->second.have_cutoff) return;
-    it->second.set_resps.insert_or_assign(from, m.clock);
-    process_set responders;
-    for (const auto& [p, c] : it->second.set_resps) responders.insert(p);
-    // Line 18: wait for SET_RESPs from all members of some write quorum.
-    const auto w_set = covered_quorum(config_.writes, responders);
-    if (!w_set) return;
-    // Line 19: c_set = max clock among that write quorum.
-    std::uint64_t cutoff = 0;
-    for (process_id p : *w_set)
-      cutoff = std::max(cutoff, it->second.set_resps.at(p));
-    it->second.have_cutoff = true;
-    it->second.c_set = cutoff;
-    recheck_waits();
-  }
-
-  /// Returns a read quorum all of whose members have gossiped clocks
-  /// ≥ cutoff, if any (the guards of lines 8 and 20).
-  std::optional<process_set> read_quorum_at_clock(std::uint64_t cutoff) const {
-    process_set fresh;
-    for (const auto& [p, entry] : last_gossip_)
-      if (entry && entry->clock >= cutoff) fresh.insert(p);
-    return covered_quorum(config_.reads, fresh);
-  }
-
-  void recheck_waits() {
-    // Completing an operation may invoke a callback that starts another
-    // operation; iterate over snapshots of the keys for safety.
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (auto it = gets_.begin(); it != gets_.end(); ++it) {
-        if (!it->second.have_cutoff) continue;
-        const auto r_get = read_quorum_at_clock(it->second.c_get);
-        if (!r_get) continue;
-        std::vector<S> states;
-        for (process_id p : *r_get) states.push_back(last_gossip_.at(p)->state);
-        auto done = std::move(it->second.done);
-        gets_.erase(it);
-        done(std::move(states));
-        progress = true;
-        break;
-      }
-      if (progress) continue;
-      for (auto it = sets_.begin(); it != sets_.end(); ++it) {
-        if (!it->second.have_cutoff) continue;
-        if (!read_quorum_at_clock(it->second.c_set)) continue;
-        auto done = std::move(it->second.done);
-        sets_.erase(it);
-        done();
-        progress = true;
-        break;
-      }
-    }
-  }
-
-  struct gossip_entry {
-    S state;
-    std::uint64_t clock;
-  };
-
-  quorum_config config_;
-  generalized_qaf_options options_;
-  S state_;
-  std::uint64_t seq_ = 0;
-  std::uint64_t clock_ = 0;  // the Figure 3 logical clock
-  std::map<process_id, std::optional<gossip_entry>> last_gossip_;
-  std::map<std::uint64_t, pending_get> gets_;
-  std::map<std::uint64_t, pending_set> sets_;
 };
 
 }  // namespace gqs

@@ -1,0 +1,75 @@
+// keyed_register.hpp — the Figure 4 MWMR atomic register, per key, over
+// the multi-object quorum service.
+//
+// Each key behaves exactly like an atomic_register instance: write is a
+// quorum_get (collect versions, pick a fresh one) followed by a quorum_set
+// installing (x, (k+1, i)); read is a quorum_get followed by a write-back
+// quorum_set of the freshest observed state. The difference from the seed
+// path is entirely beneath: all keys share one engine (one gossip stream,
+// batched wire messages, pipelined operations) instead of one protocol
+// instance per key — see quorum_service.hpp.
+//
+// Concurrency contract per process: operations on *different* keys may
+// overlap freely (that is the point of the service); two concurrent
+// operations of the same process on the *same* key are the caller's
+// responsibility to avoid, exactly like two concurrent operations of one
+// client on a single register (two overlapping writes at p could install
+// the same version (k+1, p)).
+#pragma once
+
+#include <utility>
+
+#include "quorum/quorum_service.hpp"
+#include "register/register_state.hpp"
+
+namespace gqs {
+
+template <class V>
+class keyed_register : public quorum_service<V> {
+ public:
+  using base = quorum_service<V>;
+  using state_type = typename base::state_type;
+  using value_type = V;
+
+  /// Completion of a write; exposes the installed version for the
+  /// white-box linearizability checker (the τ(op) of Appendix B).
+  using write_callback = std::function<void(reg_version installed)>;
+  /// Completion of a read: the value plus its version tag.
+  using read_callback = std::function<void(V, reg_version)>;
+
+  using base::base;
+
+  /// Figure 4, lines 2-7, on `key`.
+  void write(service_key key, V x, write_callback done) {
+    this->quorum_get(key, [this, key, x = std::move(x),
+                           done = std::move(done)](
+                              std::vector<state_type> states) mutable {
+      reg_version top{};
+      for (const state_type& s : states) top = std::max(top, s.version);
+      const reg_version t{top.number + 1, this->id()};
+      this->quorum_set(key, state_type{std::move(x), t},
+                       [t, done = std::move(done)] { done(t); });
+    });
+  }
+
+  /// Figure 4, lines 8-13, on `key`.
+  void read(service_key key, read_callback done) {
+    this->quorum_get(key, [this, key, done = std::move(done)](
+                              std::vector<state_type> states) mutable {
+      state_type chosen;  // initial state if everything is initial
+      for (state_type& s : states)
+        if (s.version >= chosen.version) chosen = std::move(s);
+      // Write-back phase: make the value visible to later operations.
+      V value = chosen.value;
+      const reg_version version = chosen.version;
+      this->quorum_set(key, std::move(chosen),
+                       [value = std::move(value), version,
+                        done = std::move(done)] { done(value, version); });
+    });
+  }
+};
+
+/// The service-backed register over the default int64 value domain.
+using keyed_register_node = keyed_register<reg_value>;
+
+}  // namespace gqs

@@ -3,6 +3,13 @@
 namespace gqs {
 
 void flooding_node::on_message(process_id from, const message_ptr& m) {
+  // Tag dispatch: every envelope is built in originate() and tagged there,
+  // so the hot path is one pointer compare (untagged messages, which only
+  // hand-crafted tests send, still take the dynamic_cast fallback).
+  if (m->type_tag == message_tag_of<envelope>()) {
+    handle(from, std::static_pointer_cast<const envelope>(m));
+    return;
+  }
   const auto env = std::dynamic_pointer_cast<const envelope>(m);
   if (!env) return;  // flooding nodes only exchange envelopes
   handle(from, env);
@@ -31,8 +38,9 @@ void flooding_node::originate(process_id dest, message_ptr payload) {
   if (dest != to_all && dest != id() &&
       !sim().epochs().reachable(sim().current_epoch(), id()).contains(dest))
     return;
-  auto env = std::make_shared<const envelope>(id(), next_seq_++, dest,
-                                              std::move(payload));
+  auto env = std::make_shared<envelope>(id(), next_seq_++, dest,
+                                        std::move(payload));
+  env->type_tag = message_tag_of<envelope>();
   mark_seen(env->origin, env->seq);
   // Local delivery first (a process trivially "reaches" itself).
   if (dest == to_all || dest == id()) {

@@ -4,6 +4,14 @@
 // protocols define subclasses and downcast on receipt (the simulator is an
 // in-process model of a network, so no serialization layer is pretended —
 // see DESIGN.md §3).
+//
+// Dispatch: every message built through make_message carries a type tag (a
+// per-type sentinel address), so message_cast is a pointer compare plus a
+// static_cast on the hot delivery path — the per-delivery dynamic_cast
+// chains of the protocol deliver() handlers and the transport mux resolve
+// without RTTI. The cast matches the exact constructed type; casting a
+// tagged message to anything else yields nullptr. Messages created without
+// make_message (tag unset) fall back to dynamic_cast.
 #pragma once
 
 #include <memory>
@@ -11,12 +19,27 @@
 
 namespace gqs {
 
+/// Identity of a concrete message type: the address of a per-type
+/// sentinel. Stable for the lifetime of the program, unique per type.
+using message_type_tag = const void*;
+
+template <class M>
+message_type_tag message_tag_of() noexcept {
+  static constexpr char sentinel = 0;
+  return &sentinel;
+}
+
 /// Base class of all protocol messages.
 struct message {
   virtual ~message() = default;
 
   /// Short human-readable tag for tracing.
   virtual std::string debug_name() const { return "message"; }
+
+  /// Type tag of the most-derived constructed type; set by make_message,
+  /// nullptr for messages built by hand (which message_cast then resolves
+  /// via dynamic_cast).
+  message_type_tag type_tag = nullptr;
 };
 
 using message_ptr = std::shared_ptr<const message>;
@@ -24,12 +47,19 @@ using message_ptr = std::shared_ptr<const message>;
 /// Convenience factory: make_message<MyMsg>(args...)
 template <class M, class... Args>
 message_ptr make_message(Args&&... args) {
-  return std::make_shared<const M>(std::forward<Args>(args)...);
+  auto m = std::make_shared<M>(std::forward<Args>(args)...);
+  m->type_tag = message_tag_of<M>();
+  return m;
 }
 
-/// Downcast helper; returns nullptr if the message is not an M.
+/// Downcast helper; returns nullptr if the message is not an M. Tagged
+/// messages (make_message) resolve by pointer compare; untagged ones by
+/// dynamic_cast.
 template <class M>
 const M* message_cast(const message_ptr& m) {
+  if (m->type_tag == message_tag_of<M>())
+    return static_cast<const M*>(m.get());
+  if (m->type_tag != nullptr) return nullptr;
   return dynamic_cast<const M*>(m.get());
 }
 

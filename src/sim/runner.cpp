@@ -34,7 +34,8 @@ std::string to_json(const run_aggregate& a) {
       << ", \"latency_us\": {\"count\": " << a.latency_us.count
       << ", \"mean\": " << a.latency_us.mean
       << ", \"p50\": " << a.latency_us.p50
-      << ", \"p95\": " << a.latency_us.p95 << "}"
+      << ", \"p95\": " << a.latency_us.p95
+      << ", \"p99\": " << a.latency_us.p99 << "}"
       << ", \"wall_ms\": " << a.wall_ms
       << ", \"events_per_sec\": " << a.events_per_sec << "}";
   return out.str();

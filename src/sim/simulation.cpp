@@ -201,13 +201,19 @@ void simulation::send(process_id from, process_id to, message_ptr m) {
 }
 
 void simulation::post(process_id p, std::function<void()> fn) {
+  post_after(p, 0, std::move(fn));
+}
+
+void simulation::post_after(process_id p, sim_time delay,
+                            std::function<void()> fn) {
   if (p >= n_) throw std::out_of_range("simulation::post: out of range");
+  if (delay < 0) throw std::invalid_argument("simulation: negative delay");
   const std::uint32_t slot = alloc_record();
   event_record& e = slab_[slot];
   e.kind = event_kind::post;
   e.a = p;
   e.fn = std::move(fn);
-  push_entry(now_, slot);
+  push_entry(now_ + delay, slot);
 }
 
 int simulation::set_timer(process_id p, sim_time delay) {

@@ -144,6 +144,10 @@ class simulation {
   /// then. Used for self-delivery and for injecting client operations.
   void post(process_id p, std::function<void()> fn);
 
+  /// post(), but `delay` into the future — client think times and open-loop
+  /// arrival schedules, without requiring the caller to be a node.
+  void post_after(process_id p, sim_time delay, std::function<void()> fn);
+
   /// Arms a one-shot timer for process p; on expiry, node::on_timer(id) is
   /// invoked (unless p crashed). Returns the timer id.
   int set_timer(process_id p, sim_time delay);

@@ -65,8 +65,10 @@ class component {
   transport* tr_ = nullptr;
 };
 
-/// Simulation node hosting exactly one component.
-class single_host final : public flooding_node, private transport {
+/// Simulation node hosting exactly one component. Object facades that
+/// wrap a protocol component into a node (snapshot_node over the keyed
+/// quorum service, for example) derive from it.
+class single_host : public flooding_node, private transport {
  public:
   explicit single_host(std::unique_ptr<component> c) : comp_(std::move(c)) {
     if (!comp_) throw std::invalid_argument("single_host: null component");
@@ -143,6 +145,9 @@ class mux_host : public flooding_node {
   }
 
   void on_deliver(process_id origin, const message_ptr& payload) override {
+    // Integer-tag dispatch: the wrapper type resolves by tag compare (one
+    // pointer equality, no dynamic_cast) and the component by its integer
+    // instance index.
     const auto* t = message_cast<tagged>(payload);
     if (!t) return;
     if (t->instance < 0 ||

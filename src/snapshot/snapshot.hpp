@@ -19,8 +19,13 @@
 // within U_f: a scan performs at most n+2 collects (after n+1 of them some
 // writer moved twice by pigeonhole).
 //
-// snapshot_node is a mux_host: it runs the n register protocol instances
-// side by side at each process, multiplexed over one flooding endpoint.
+// The segment registers are keys of one multi-object quorum service
+// (keyed_register over quorum_service): all n segments share a single
+// engine per process — one gossip stream carrying a dirty-key batch
+// instead of the seed's n per-segment broadcast streams, and collects
+// coalesce into single batched wire messages. (The seed realized segments
+// as n mux-hosted register components; that path survives as the
+// seed-replica baseline of bench_service_throughput.)
 #pragma once
 
 #include <cstdint>
@@ -29,7 +34,7 @@
 #include <vector>
 
 #include "quorum/qaf_generalized.hpp"
-#include "register/atomic_register.hpp"
+#include "register/keyed_register.hpp"
 #include "sim/transport.hpp"
 
 namespace gqs {
@@ -48,32 +53,30 @@ struct snapshot_cell {
 
 /// SWMR atomic snapshot object over values of type V.
 ///
-/// The underlying registers run the generalized (Figure 3) access
+/// The underlying keyed register runs the generalized (Figure 3) access
 /// functions, so the snapshot works under any fail-prone system admitting
 /// a GQS, with wait-freedom inside U_f.
 template <class V>
-class snapshot_node : public mux_host {
+class snapshot_node : public single_host {
  public:
   using cell = snapshot_cell<V>;
-  using register_component =
-      atomic_register<generalized_qaf<basic_reg_state<cell>>>;
+  using register_service = keyed_register<cell>;
   using scan_callback = std::function<void(std::vector<V>)>;
   using update_callback = std::function<void()>;
 
   snapshot_node(process_id segments, quorum_config config,
                 generalized_qaf_options options = {})
-      : segments_(segments) {
-    for (process_id j = 0; j < segments; ++j)
-      registers_.push_back(&emplace_component<register_component>(
-          config, basic_reg_state<cell>{}, options));
-  }
+      : single_host(std::make_unique<register_service>(
+            segments, std::move(config), to_service(options))),
+        segments_(segments),
+        registers_(&as<register_service>()) {}
 
   /// Writes x into this process's segment (process i owns segment i).
   void update(V x, update_callback done) {
     scan([this, x = std::move(x), done = std::move(done)](
              std::vector<V> embedded) {
       const cell c{std::move(x), ++write_seq_, std::move(embedded)};
-      registers_[id()]->write(c, [done](reg_version) { done(); });
+      registers_->write(id(), c, [done](reg_version) { done(); });
     });
   }
 
@@ -87,6 +90,9 @@ class snapshot_node : public mux_host {
 
   process_id segment_count() const noexcept { return segments_; }
 
+  /// The shared engine beneath the segments (counters, clocks).
+  const register_service& service() const noexcept { return *registers_; }
+
  private:
   struct scan_state {
     scan_callback done;
@@ -94,6 +100,13 @@ class snapshot_node : public mux_host {
     bool have_previous = false;
     std::vector<int> moved;
   };
+
+  static service_options to_service(const generalized_qaf_options& o) {
+    o.validate();
+    service_options opts;
+    opts.gossip_period = o.gossip_period;
+    return opts;
+  }
 
   void scan_round(std::shared_ptr<scan_state> op) {
     collect([this, op](std::vector<cell> current) {
@@ -126,6 +139,8 @@ class snapshot_node : public mux_host {
 
   /// Reads all segment registers concurrently (a "collect" — not atomic by
   /// itself, which is the whole point of the double-collect machinery).
+  /// The reads are issued in one instant, so the service coalesces them
+  /// into one batched round on the wire.
   void collect(std::function<void(std::vector<cell>)> done) {
     struct collect_state {
       std::vector<cell> cells;
@@ -137,7 +152,7 @@ class snapshot_node : public mux_host {
     st->remaining = segments_;
     st->done = std::move(done);
     for (process_id j = 0; j < segments_; ++j)
-      registers_[j]->read([st, j](cell c, reg_version) {
+      registers_->read(j, [st, j](cell c, reg_version) {
         st->cells[j] = std::move(c);
         if (--st->remaining == 0) st->done(std::move(st->cells));
       });
@@ -145,7 +160,7 @@ class snapshot_node : public mux_host {
 
   process_id segments_;
   std::uint64_t write_seq_ = 0;
-  std::vector<register_component*> registers_;
+  register_service* registers_;
 };
 
 }  // namespace gqs

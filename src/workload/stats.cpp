@@ -22,6 +22,7 @@ sample_summary summarize(std::vector<double> values) {
   };
   s.p50 = percentile(0.50);
   s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
   s.min = values.front();
   s.max = values.back();
   return s;

@@ -13,6 +13,7 @@ struct sample_summary {
   double mean = 0;
   double p50 = 0;
   double p95 = 0;
+  double p99 = 0;
   double min = 0;
   double max = 0;
 };
