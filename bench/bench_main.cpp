@@ -7,12 +7,17 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "workload/stats.hpp"
+
 namespace {
+
+// Locale-independent double rendering: a comma-decimal global locale
+// must not corrupt the JSON records.
+using gqs::fmt_json_double;
 
 // argv[0] -> "bench_fig1_gqs" (strip directories and a trailing extension).
 std::string bench_name(const char* argv0) {
@@ -75,9 +80,7 @@ void set_field(const std::string& key, std::string rendered) {
 namespace gqs_bench {
 
 void record(const std::string& key, double value) {
-  std::ostringstream out;
-  out << value;
-  set_field(key, out.str());
+  set_field(key, fmt_json_double(value));
 }
 
 void record(const std::string& key, std::uint64_t value) {
@@ -121,7 +124,7 @@ int main(int, char** argv) {
   if (out) {
     out << "{\n"
         << "  \"bench\": \"" << name << "\",\n"
-        << "  \"wall_ms\": " << wall_ms << ",\n"
+        << "  \"wall_ms\": " << fmt_json_double(wall_ms) << ",\n"
         << "  \"exit_code\": " << exit_code;
     if (!error.empty())
       out << ",\n  \"error\": \"" << json_escape(error) << "\"";

@@ -1,0 +1,354 @@
+// bench_strategy — strategy-targeted quorum access vs the broadcast path.
+//
+// Workload: 256 keys, zipfian (θ = 0.99) popularity, 50/50 read/write
+// mix, writes partitioned per process (final per-key states are a pure
+// function of the schedule), driven through the multi-object quorum
+// service over the Figure 1 GQS with no failures. Two engine modes run
+// the identical schedule:
+//
+//   broadcast — the seed path: every CLOCK probe and SET batch goes to
+//               all n processes (flooded), acks return as flooded
+//               unicasts;
+//   targeted  — the planner's optimal strategy (strategy/planner.hpp)
+//               sampled per flush group (strategy/selector.hpp): probes
+//               and batches go only to the sampled write quorum's
+//               members as direct messages, acks return point-to-point,
+//               timeout escalation armed but never needed here.
+//
+// Cross-checks before any measurement is reported: both modes complete
+// the same operations, drive every key to the same freshest final
+// (value, version), and every per-key history passes the white-box
+// Appendix-B linearizability checker; rerunning the targeted grid under
+// a different experiment-runner thread count must reproduce bit-identical
+// client-visible results (deterministic per-op sampling).
+//
+// Acceptance bar: messages/op (broadcast) ≥ 2× messages/op (targeted) —
+// gated in CI via bench/baselines.json (key `message_reduction`). The
+// record also carries throughput, per-process load imbalance (max/mean
+// realized quorum membership) and the planner-predicted vs realized
+// per-process load, closing the planner → runtime loop.
+#include "bench_main.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+
+#include "core/factories.hpp"
+#include "lincheck/dependency_graph.hpp"
+#include "register/keyed_register.hpp"
+#include "sim/runner.hpp"
+#include "sim/transport.hpp"
+#include "strategy/planner.hpp"
+#include "strategy/selector.hpp"
+#include "workload/clients.hpp"
+#include "workload/table.hpp"
+
+namespace {
+
+using namespace gqs;
+
+constexpr process_id kN = 8;
+constexpr service_key kKeys = 256;
+constexpr std::uint64_t kOpsPerProcess = 120;
+constexpr int kReps = 3;  // best-of per mode
+constexpr sim_time kHorizon = 600L * 1000 * 1000;
+constexpr sim_time kQuiesce = 200000;
+constexpr std::uint64_t kSelectorSeed = 0x5742;
+
+client_workload_options workload() {
+  client_workload_options opts;
+  opts.keys = kKeys;
+  opts.zipf_theta = 0.99;
+  opts.read_ratio = 0.5;
+  opts.ops_per_process = kOpsPerProcess;
+  opts.inflight_window = 8;  // deep pipeline: gossip amortizes over more
+                             // ops, so the op-path difference dominates
+  opts.partition_writes = true;
+  opts.seed = 20260730;
+  return opts;
+}
+
+plan_result make_plan() {
+  planner_options options;
+  options.read_ratio = 0.5;
+  return plan_optimal(threshold_quorum_system(kN, 2), options);
+}
+
+struct pass_result {
+  bool ok = false;
+  std::string why;
+  double wall_s = 0;
+  double ops_per_sec = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t escalations = 0;
+  std::vector<double> latencies_us;
+  std::vector<std::uint64_t> quorum_hits;  // realized targeting, summed
+  /// Freshest (value, version) per key across all replicas after quiesce
+  /// (targeted SETs install only at sampled members by design).
+  std::vector<std::pair<reg_value, reg_version>> finals;
+  bool per_key_linearizable = true;
+};
+
+pass_result run_pass(std::uint64_t seed, selector_ptr selector,
+                     bool check_histories) {
+  const auto system = threshold_quorum_system(kN, 2);
+  service_options options;
+  options.selector = std::move(selector);
+  simulation sim(kN, network_options{}, fault_plan::none(kN), seed);
+  std::vector<keyed_register_node*> nodes;
+  for (process_id p = 0; p < kN; ++p) {
+    auto comp = std::make_unique<keyed_register_node>(
+        kKeys, quorum_config::of(system), options);
+    nodes.push_back(comp.get());
+    sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+  }
+  sim.start();
+  sim.run_until(0);
+  keyed_node_adapter<keyed_register_node> adapter{nodes};
+  workload_driver<keyed_node_adapter<keyed_register_node>> driver(
+      sim, std::move(adapter), workload());
+
+  pass_result r;
+  driver.launch();
+  const auto begin = std::chrono::steady_clock::now();
+  const bool done = sim.run_until_condition([&] { return driver.done(); },
+                                            sim.now() + kHorizon);
+  const auto end = std::chrono::steady_clock::now();
+  if (!done) {
+    r.why = "workload did not complete";
+    return r;
+  }
+  sim.run_until(sim.now() + kQuiesce);
+  r.ok = true;
+  r.wall_s = std::chrono::duration<double>(end - begin).count();
+  r.completed = driver.completed();
+  r.ops_per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s : 0;
+  r.messages = sim.metrics().messages_sent;
+  r.latencies_us = driver.latencies_us();
+  r.quorum_hits.assign(kN, 0);
+  for (const keyed_register_node* n : nodes) {
+    r.escalations += n->counters().escalations;
+    const auto& hits = n->per_process_quorum_hits();
+    for (process_id p = 0; p < hits.size(); ++p) r.quorum_hits[p] += hits[p];
+  }
+  r.finals.reserve(kKeys);
+  for (service_key k = 0; k < kKeys; ++k) {
+    basic_reg_state<reg_value> freshest;
+    for (process_id p = 0; p < kN; ++p) {
+      const auto& s = nodes[p]->local_state(k);
+      if (s.version >= freshest.version) freshest = s;
+    }
+    r.finals.emplace_back(freshest.value, freshest.version);
+  }
+  if (check_histories) {
+    for (service_key k = 0; k < kKeys && r.per_key_linearizable; ++k) {
+      const register_history h = driver.history_of(k);
+      if (h.empty()) continue;
+      const auto lin = check_dependency_graph(h);
+      if (!lin.linearizable) {
+        r.per_key_linearizable = false;
+        r.why = "key " + std::to_string(k) + ": " + lin.reason;
+      }
+    }
+  }
+  return r;
+}
+
+selector_ptr bench_selector(const plan_result& plan) {
+  return std::make_shared<const quorum_selector>(plan.strategy,
+                                                 kSelectorSeed);
+}
+
+std::uint64_t finals_digest(const pass_result& r) {
+  std::uint64_t d = 0xcbf29ce484222325ull;
+  auto mix = [&](std::uint64_t x) {
+    d ^= x;
+    d *= 0x100000001b3ull;
+  };
+  for (const auto& [value, version] : r.finals) {
+    mix(static_cast<std::uint64_t>(value));
+    mix(version.number);
+    mix(version.writer);
+  }
+  return d;
+}
+
+}  // namespace
+
+int bench_entry() {
+  std::cout << "bench_strategy — planner-targeted quorum access vs the "
+               "broadcast path\n";
+  print_heading(std::to_string(kKeys) + "-key zipfian mixed workload, " +
+                std::to_string(kN) + " processes x " +
+                std::to_string(kOpsPerProcess) +
+                " ops, n=8 threshold GQS (k=2, best of " + std::to_string(kReps) +
+                ")");
+
+  const plan_result plan = make_plan();
+  std::cout << "planner: weighted load " << fmt_double(plan.weighted_load, 4)
+            << " (lower bound " << fmt_double(plan.lower_bound, 4)
+            << ", gap " << fmt_double(plan.gap, 4) << "), expected "
+            << fmt_double(plan.network_cost, 2)
+            << " request msgs/access vs broadcast "
+            << fmt_double(broadcast_network_cost(kN), 0) << "\n";
+
+  // ---- correctness cross-check (one seed, full history verification) ----
+  const pass_result bc = run_pass(1, nullptr, true);
+  const pass_result tg = run_pass(1, bench_selector(plan), true);
+  if (!bc.ok || !tg.ok) {
+    std::cerr << "cross-check run failed: " << bc.why << tg.why << "\n";
+    return 1;
+  }
+  if (!bc.per_key_linearizable || !tg.per_key_linearizable) {
+    std::cerr << "per-key linearizability violated: " << bc.why << tg.why
+              << "\n";
+    return 1;
+  }
+  if (bc.completed != tg.completed) {
+    std::cerr << "op counts diverge between modes\n";
+    return 1;
+  }
+  for (service_key k = 0; k < kKeys; ++k)
+    if (bc.finals[k] != tg.finals[k]) {
+      std::cerr << "final state of key " << k
+                << " diverges between modes\n";
+      return 1;
+    }
+  std::cout << "cross-check: " << bc.completed
+            << " ops per mode, identical final states on all " << kKeys
+            << " keys, all per-key histories linearizable\n";
+
+  // ---- runner-thread determinism of the targeted mode ----
+  auto targeted_cell = [&plan](std::uint64_t seed) {
+    return [&plan, seed] {
+      const pass_result p = run_pass(seed, bench_selector(plan), false);
+      run_result r;
+      r.ok = p.ok;
+      r.latencies_us = p.latencies_us;
+      r.stats["completed"] = static_cast<double>(p.completed);
+      r.stats["messages"] = static_cast<double>(p.messages);
+      const std::uint64_t digest = finals_digest(p);
+      r.stats["digest_hi"] = static_cast<double>(digest >> 32);
+      r.stats["digest_lo"] = static_cast<double>(digest & 0xffffffffull);
+      return r;
+    };
+  };
+  std::vector<run_spec> det_specs;
+  for (std::uint64_t s = 2; s < 5; ++s)
+    det_specs.push_back({"targeted-" + std::to_string(s), targeted_cell(s)});
+  const auto det1 = experiment_runner(1).run_all(det_specs);
+  const auto det2 = experiment_runner(2).run_all(det_specs);
+  for (std::size_t i = 0; i < det_specs.size(); ++i) {
+    const bool same =
+        det1[i].ok == det2[i].ok &&
+        det1[i].latencies_us == det2[i].latencies_us &&
+        stat_or(det1[i], "completed") == stat_or(det2[i], "completed") &&
+        stat_or(det1[i], "messages") == stat_or(det2[i], "messages") &&
+        stat_or(det1[i], "digest_hi") == stat_or(det2[i], "digest_hi") &&
+        stat_or(det1[i], "digest_lo") == stat_or(det2[i], "digest_lo");
+    if (!same) {
+      std::cerr << "client-visible results differ across runner thread "
+                   "counts (cell "
+                << det_specs[i].label << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "determinism: " << det_specs.size()
+            << " targeted cells bit-identical across 1- and 2-thread "
+               "runners\n";
+
+  // ---- messages/op and throughput (best-of passes, interleaved) ----
+  pass_result best_bc, best_tg;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t seed = 7 + static_cast<std::uint64_t>(rep);
+    pass_result b = run_pass(seed, nullptr, false);
+    pass_result t = run_pass(seed, bench_selector(plan), false);
+    if (!b.ok || !t.ok) {
+      std::cerr << "measurement pass failed\n";
+      return 1;
+    }
+    if (!best_bc.ok || b.ops_per_sec > best_bc.ops_per_sec)
+      best_bc = std::move(b);
+    if (!best_tg.ok || t.ops_per_sec > best_tg.ops_per_sec)
+      best_tg = std::move(t);
+  }
+
+  const double bc_msgs_per_op =
+      static_cast<double>(best_bc.messages) /
+      static_cast<double>(best_bc.completed);
+  const double tg_msgs_per_op =
+      static_cast<double>(best_tg.messages) /
+      static_cast<double>(best_tg.completed);
+  const double reduction =
+      tg_msgs_per_op > 0 ? bc_msgs_per_op / tg_msgs_per_op : 0;
+
+  // Realized per-process load vs the planner's prediction. Every flush
+  // group (GET probe or SET batch) samples one write quorum, so process
+  // p's predicted share of quorum slots is load_{σ_W}(p).
+  std::uint64_t total_hits = 0, max_hits = 0;
+  for (std::uint64_t h : best_tg.quorum_hits) {
+    total_hits += h;
+    max_hits = std::max(max_hits, h);
+  }
+  const double mean_hits =
+      static_cast<double>(total_hits) / static_cast<double>(kN);
+  const double imbalance =
+      mean_hits > 0 ? static_cast<double>(max_hits) / mean_hits : 0;
+  const double groups = static_cast<double>(total_hits) /
+                        plan.strategy.writes.expected_quorum_size();
+  double worst_prediction_gap = 0;
+  for (process_id p = 0; p < kN; ++p) {
+    const double realized =
+        groups > 0 ? static_cast<double>(best_tg.quorum_hits[p]) / groups
+                   : 0;
+    worst_prediction_gap =
+        std::max(worst_prediction_gap,
+                 std::abs(realized -
+                          plan.strategy.writes.member_probability(p)));
+  }
+
+  const sample_summary bc_lat = summarize(best_bc.latencies_us);
+  const sample_summary tg_lat = summarize(best_tg.latencies_us);
+
+  text_table t({"mode", "msgs/op", "ops/sec", "latency p50/p95 ms",
+                "escalations"});
+  t.add_row({"broadcast", fmt_double(bc_msgs_per_op, 1),
+             fmt_count(static_cast<std::uint64_t>(best_bc.ops_per_sec)),
+             fmt_double(bc_lat.p50 / 1000, 1) + " / " +
+                 fmt_double(bc_lat.p95 / 1000, 1),
+             fmt_count(best_bc.escalations)});
+  t.add_row({"targeted (optimal strategy)", fmt_double(tg_msgs_per_op, 1),
+             fmt_count(static_cast<std::uint64_t>(best_tg.ops_per_sec)),
+             fmt_double(tg_lat.p50 / 1000, 1) + " / " +
+                 fmt_double(tg_lat.p95 / 1000, 1),
+             fmt_count(best_tg.escalations)});
+  t.print();
+  std::cout << "\nmessages/op reduction (broadcast/targeted): "
+            << fmt_double(reduction, 2) << "x — acceptance bar 2.0x\n";
+  std::cout << "targeted per-process load imbalance (max/mean): "
+            << fmt_double(imbalance, 3)
+            << "; worst |realized − predicted| share: "
+            << fmt_double(worst_prediction_gap, 3) << "\n";
+
+  gqs_bench::record("message_reduction", reduction);
+  gqs_bench::record("broadcast_msgs_per_op", bc_msgs_per_op);
+  gqs_bench::record("targeted_msgs_per_op", tg_msgs_per_op);
+  gqs_bench::record("broadcast_ops_per_sec", best_bc.ops_per_sec);
+  gqs_bench::record("targeted_ops_per_sec", best_tg.ops_per_sec);
+  gqs_bench::record("targeted_escalations", best_tg.escalations);
+  gqs_bench::record("load_imbalance_max_over_mean", imbalance);
+  gqs_bench::record("planner_weighted_load", plan.weighted_load);
+  gqs_bench::record("planner_gap", plan.gap);
+  gqs_bench::record("planner_network_cost", plan.network_cost);
+  gqs_bench::record("prediction_gap_worst", worst_prediction_gap);
+  gqs_bench::record("latency_p50_us", tg_lat.p50);
+  gqs_bench::record("latency_p95_us", tg_lat.p95);
+  gqs_bench::record("latency_p99_us", tg_lat.p99);
+  gqs_bench::record("latency_max_us", tg_lat.max);
+  gqs_bench::record("workload_keys", static_cast<std::uint64_t>(kKeys));
+  gqs_bench::record("workload_ops", best_tg.completed);
+
+  return reduction >= 2.0 ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+// gqs_planner — the offline strategy planner as a CLI.
+//
+//   gqs_planner [scenario] [read_ratio]
+//
+// `scenario` is either "figure1" (the paper's running example, default)
+// or the name of a topology-corpus family (workload/topologies.hpp, e.g.
+// "ring8", "clusters12", "star16"); `read_ratio` is the workload's read
+// fraction ρ (default 0.5). For a corpus scenario the tool draws the
+// fail-prone system, solves for a GQS witness (core/solver.hpp), and then
+// plans over it; capacity-aware planning uses the scenario's per-process
+// capacity realization. Prints the optimal strategy table, the
+// load/capacity report, the per-pattern f-aware strategies, and an
+// independent-failure availability estimate — everything the runtime
+// needs to run targeted (non-broadcast) quorum access via
+// strategy/selector.hpp.
+#include <iostream>
+#include <random>
+#include <string>
+
+#include "core/existence.hpp"
+#include "core/factories.hpp"
+#include "strategy/planner.hpp"
+#include "workload/table.hpp"
+#include "workload/topologies.hpp"
+
+namespace {
+
+using namespace gqs;
+
+int usage() {
+  std::cout <<
+      "usage: gqs_planner [scenario] [read_ratio]\n"
+      "  scenario    \"figure1\" (default) or a topology-corpus family\n"
+      "              name, e.g. ring8, cliques... (see list below)\n"
+      "  read_ratio  fraction of accesses that are reads (default 0.5)\n\n"
+      "available corpus scenarios:\n";
+  int column = 0;
+  for (const scenario_family& family : topology_corpus(64)) {
+    std::cout << "  " << family.name;
+    if (++column % 8 == 0) std::cout << "\n";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+void print_strategy_table(const std::string& title,
+                          const quorum_strategy& strategy) {
+  std::cout << "\n" << title << ":\n";
+  text_table t({"quorum", "weight", "size"});
+  for (std::size_t i = 0; i < strategy.quorums.size(); ++i)
+    t.add_row({strategy.quorums[i].to_string(),
+               fmt_double(strategy.weights[i], 3),
+               std::to_string(strategy.quorums[i].size())});
+  t.print();
+}
+
+void print_load_report(const plan_result& plan, process_id n,
+                       const std::vector<double>& capacities) {
+  std::cout << "\nload/capacity report:\n";
+  text_table t({"process", "load", "capacity", "utilization at peak"});
+  for (process_id p = 0; p < n; ++p) {
+    const double cap = capacities.empty() ? 1.0 : capacities[p];
+    t.add_row({std::to_string(p), fmt_double(plan.load[p], 3),
+               fmt_double(cap, 2),
+               fmt_double(plan.load[p] / cap * plan.capacity, 3)});
+  }
+  t.print();
+  std::cout << "system load " << fmt_double(plan.system_load, 4)
+            << ", weighted load " << fmt_double(plan.weighted_load, 4)
+            << " (certified lower bound "
+            << fmt_double(plan.lower_bound, 4) << ", gap "
+            << fmt_double(plan.gap, 4) << ")\n"
+            << "sustainable throughput " << fmt_double(plan.capacity, 2)
+            << " accesses per unit capacity-time\n"
+            << "expected request messages per access "
+            << fmt_double(plan.network_cost, 2) << " (broadcast: "
+            << fmt_double(broadcast_network_cost(n), 0) << ")\n";
+}
+
+void print_pattern_plans(const generalized_quorum_system& gqs,
+                         const planner_options& options) {
+  std::cout << "\nf-aware strategies (mass only on pairs valid under each "
+               "pattern):\n";
+  text_table t({"pattern", "valid pairs", "top pair (W <- R)", "weight",
+                "weighted load"});
+  const auto plans = plan_all_patterns(gqs, options);
+  for (const pattern_plan& plan : plans) {
+    if (!plan.feasible) {
+      t.add_row({std::to_string(plan.pattern_index), "0", "INFEASIBLE", "-",
+                 "-"});
+      continue;
+    }
+    const auto top = plan.top_pair();
+    double top_weight = 0;
+    for (double w : plan.weights) top_weight = std::max(top_weight, w);
+    t.add_row({std::to_string(plan.pattern_index),
+               std::to_string(plan.pairs.size()),
+               top->write_quorum.to_string() + " <- " +
+                   top->read_quorum.to_string(),
+               fmt_double(top_weight, 3),
+               fmt_double(plan.weighted_load, 3)});
+  }
+  t.print();
+}
+
+int plan_and_print(const generalized_quorum_system& gqs,
+                   const std::vector<double>& capacities,
+                   const digraph* topology, double read_ratio) {
+  planner_options options;
+  options.read_ratio = read_ratio;
+  const plan_result uniform = plan_optimal(gqs, options);
+
+  std::cout << "\nread ratio " << fmt_double(read_ratio, 2) << ", "
+            << gqs.reads.size() << " read / " << gqs.writes.size()
+            << " write quorums over n=" << gqs.system_size() << "\n";
+  print_strategy_table("optimal read strategy", uniform.strategy.reads);
+  print_strategy_table("optimal write strategy", uniform.strategy.writes);
+  print_load_report(uniform, gqs.system_size(), {});
+
+  bool heterogeneous = false;
+  for (double c : capacities) heterogeneous |= c != capacities.front();
+  if (heterogeneous) {
+    options.capacities = capacities;
+    const plan_result aware = plan_optimal(gqs, options);
+    std::cout << "\n-- capacity-aware plan (heterogeneous capacities) --\n";
+    print_strategy_table("capacity-aware write strategy",
+                         aware.strategy.writes);
+    print_load_report(aware, gqs.system_size(), capacities);
+  }
+
+  options.capacities.clear();
+  print_pattern_plans(gqs, options);
+
+  availability_options avail;
+  avail.fail_probability = 0.1;
+  const availability_estimate est = estimate_availability(
+      gqs.system_size(), gqs.reads, gqs.writes, topology, avail);
+  std::cout << "\navailability under independent 10% process failures: "
+            << fmt_double(100 * est.probability, 2) << "% ("
+            << (est.exact ? "exact over " : "Monte Carlo over ")
+            << est.trials << (est.exact ? " crash subsets" : " samples")
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scenario = argc > 1 ? argv[1] : "figure1";
+  if (scenario == "--help" || scenario == "-h") return usage();
+  const double read_ratio = argc > 2 ? std::stod(argv[2]) : 0.5;
+
+  if (scenario == "figure1") {
+    const auto fig = make_figure1();
+    std::cout << "scenario: figure1 — the paper's running example (n=4)\n";
+    return plan_and_print(fig.gqs,
+                          std::vector<double>(fig.gqs.system_size(), 1.0),
+                          nullptr, read_ratio);
+  }
+
+  for (const scenario_family& family : topology_corpus(64)) {
+    if (family.name != scenario) continue;
+    std::cout << "scenario: " << family.name << " — "
+              << to_string(family.params.topology.kind)
+              << " topology, n=" << family.params.topology.n << ", |F|="
+              << family.params.patterns << ", capacities "
+              << to_string(family.params.capacities.profile) << "\n";
+    std::mt19937_64 rng(1);
+    const fail_prone_system fps = scenario_system(family.params, rng);
+    const auto witness = find_gqs(fps);
+    if (!witness) {
+      std::cout << "no generalized quorum system exists for this draw — "
+                   "nothing to plan\n";
+      return 0;
+    }
+    const digraph topology = make_topology(family.params.topology);
+    return plan_and_print(witness->system,
+                          process_capacities(family.params), &topology,
+                          read_ratio);
+  }
+
+  std::cerr << "unknown scenario \"" << scenario << "\" (try --help)\n";
+  return 1;
+}

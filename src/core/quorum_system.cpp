@@ -98,14 +98,37 @@ check_result check_classical(const generalized_quorum_system& qs) {
   return check_classical_availability(qs.fps, qs.reads, qs.writes);
 }
 
+std::vector<available_pair> available_pairs_in(const quorum_family& reads,
+                                               const quorum_family& writes,
+                                               process_set correct,
+                                               const digraph& residual,
+                                               bool first_only) {
+  std::vector<available_pair> pairs;
+  for (const process_set& w : writes) {
+    if (w.empty() || !w.is_subset_of(correct)) continue;
+    if (!residual.strongly_connects(w)) continue;
+    const process_set reach = residual.reach_to_all(w);
+    for (const process_set& r : reads) {
+      if (r.empty() || !r.is_subset_of(reach)) continue;
+      pairs.push_back(available_pair{w, r});
+      if (first_only) return pairs;
+    }
+  }
+  return pairs;
+}
+
 std::optional<available_pair> find_available_pair(
     const generalized_quorum_system& gqs, const failure_pattern& f) {
-  for (const process_set& w : gqs.writes) {
-    if (!is_f_available(w, f)) continue;
-    for (const process_set& r : gqs.reads)
-      if (is_f_reachable_from(w, r, f)) return available_pair{w, r};
-  }
-  return std::nullopt;
+  const auto pairs = available_pairs_in(gqs.reads, gqs.writes, f.correct(),
+                                        f.residual(), /*first_only=*/true);
+  if (pairs.empty()) return std::nullopt;
+  return pairs.front();
+}
+
+std::vector<available_pair> all_available_pairs(
+    const generalized_quorum_system& gqs, const failure_pattern& f) {
+  return available_pairs_in(gqs.reads, gqs.writes, f.correct(),
+                            f.residual());
 }
 
 process_set validating_write_union(const generalized_quorum_system& gqs,

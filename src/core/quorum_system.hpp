@@ -85,6 +85,26 @@ struct available_pair {
 std::optional<available_pair> find_available_pair(
     const generalized_quorum_system& gqs, const failure_pattern& f);
 
+/// Every (W, R) pair validating Availability for f, scanning writes ×
+/// reads in order. This is the support over which an f-aware quorum
+/// strategy (strategy/planner.hpp) may distribute mass: pairs outside it
+/// would target quorums that f disconnects.
+std::vector<available_pair> all_available_pairs(
+    const generalized_quorum_system& gqs, const failure_pattern& f);
+
+/// The Definition 2 scan over a precomputed residual — the single source
+/// of the "W ⊆ correct, strongly connected in the residual, reachable
+/// from all of R" predicate that find_available_pair,
+/// all_available_pairs and the strategy planner's availability estimator
+/// all apply. `residual` must be the residual graph whose present
+/// vertices are exactly `correct`. With `first_only` the scan stops at
+/// the first valid pair (the existence query).
+std::vector<available_pair> available_pairs_in(const quorum_family& reads,
+                                               const quorum_family& writes,
+                                               process_set correct,
+                                               const digraph& residual,
+                                               bool first_only = false);
+
 /// U_f (Proposition 1): the strongly connected component of G \ f that
 /// contains every write quorum validating Availability for f. Returns the
 /// empty set if no write quorum validates Availability (i.e. the triple is

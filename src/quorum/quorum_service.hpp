@@ -50,6 +50,7 @@
 #include "quorum/qaf_core.hpp"
 #include "register/register_state.hpp"
 #include "sim/transport.hpp"
+#include "strategy/selector.hpp"
 
 namespace gqs {
 
@@ -68,6 +69,17 @@ struct service_options {
   std::uint64_t initial_clock = 0;
   /// Gossip ticks a stream gap may persist before the receiver NACKs it.
   int nack_gap_ticks = 2;
+  /// Strategy-driven targeted access (strategy/selector.hpp): when set,
+  /// the CLOCK probe and SET batch of every flush group go only to the
+  /// members of a sampled write quorum (one direct message each), and
+  /// acks return point-to-point — instead of the seed's full broadcast +
+  /// flooded-unicast replies. Null keeps broadcast behavior unchanged.
+  selector_ptr selector;
+  /// With a selector: delay before a flush group that still lacks write-
+  /// quorum coverage is rebroadcast to all (restoring the seed path, so
+  /// liveness under F is unchanged). 0 disables escalation — ONLY for the
+  /// mutation tests; see push_qaf_options::escalation_timeout.
+  sim_time escalation_timeout = 40000;  // 40 ms
 
   void validate() const;
 };
@@ -84,6 +96,10 @@ struct service_counters {
   std::uint64_t gossip_entries_sent = 0;
   std::uint64_t nacks_sent = 0;
   std::uint64_t repairs_sent = 0;
+  // ---- targeted access (zero without a selector) ----
+  std::uint64_t targeted_probes = 0;       ///< get groups sent targeted
+  std::uint64_t targeted_set_batches = 0;  ///< set groups sent targeted
+  std::uint64_t escalations = 0;           ///< groups rebroadcast on timeout
 };
 
 /// Tracks one origin's gossip stream at a receiver: the freshness clock
@@ -201,6 +217,8 @@ class quorum_service : public component {
       throw std::invalid_argument("quorum_service: no keys");
     config_.validate();
     options_.validate();
+    if (options_.selector)
+      check_selector_covers(*options_.selector, config_.writes);
   }
 
   /// Starts a Figure 3 quorum_get on `key`; coalesced with every other
@@ -238,6 +256,14 @@ class quorum_service : public component {
   }
 
   const service_counters& counters() const noexcept { return counters_; }
+
+  /// How many targeted flush groups sampled each process into their write
+  /// quorum — the *realized* per-process load of the strategy, to hold
+  /// against the planner's predicted load_σ(p). Sized n (all zeros) from
+  /// start() on; counts only accumulate in targeted mode.
+  const std::vector<std::uint64_t>& per_process_quorum_hits() const noexcept {
+    return quorum_hits_;
+  }
 
   /// Sum of buffered out-of-order gossip clocks across all origins (flat
   /// unless gossip was permanently lost and not yet repaired).
@@ -328,7 +354,9 @@ class quorum_service : public component {
     if (timer_id == gossip_timer_) {
       gossip_tick();
       gossip_timer_ = this->set_timer(options_.gossip_period);
+      return;
     }
+    escalate(timer_id);
   }
 
   void deliver(process_id origin, const message_ptr& payload) override {
@@ -336,7 +364,7 @@ class quorum_service : public component {
     if (const auto* m = message_cast<gossip_msg>(payload)) {
       on_gossip(origin, *m);
     } else if (const auto* m = message_cast<probe_msg>(payload)) {
-      this->unicast(origin, make_message<probe_ack_msg>(m->req, clock_));
+      reply(origin, make_message<probe_ack_msg>(m->req, clock_));
     } else if (const auto* m = message_cast<probe_ack_msg>(payload)) {
       on_probe_ack(origin, *m);
     } else if (const auto* m = message_cast<set_batch_msg>(payload)) {
@@ -379,6 +407,7 @@ class quorum_service : public component {
     quorum_response_collector<std::uint64_t> acks;
     bool have_cutoff = false;
     std::uint64_t cutoff = 0;
+    message_ptr wire;  // targeted mode: kept for escalation rebroadcast
   };
 
   void check_key(service_key key) const {
@@ -391,6 +420,7 @@ class quorum_service : public component {
     const process_id n = this->system_size();
     streams_.resize(n);
     cache_.assign(n, std::vector<state_type>(keys_));
+    quorum_hits_.assign(n, 0);
   }
 
   void schedule_flush() {
@@ -406,7 +436,14 @@ class quorum_service : public component {
         get_group& g = get_groups_[req];
         g.members = std::move(staged_gets_);
         ++counters_.probes_sent;
-        this->broadcast(make_message<probe_msg>(req));
+        if (options_.selector) {
+          ++counters_.targeted_probes;
+          this->multicast(sample_targets(/*is_get=*/true, req),
+                          make_message<probe_msg>(req));
+          arm_escalation(/*is_get=*/true, req);
+        } else {
+          this->broadcast(make_message<probe_msg>(req));
+        }
       } else {
         // Ablated: c_get = 0, any cached state qualifies.
         get_group& g = get_groups_[++probe_seq_];
@@ -429,10 +466,70 @@ class quorum_service : public component {
         entries.push_back(set_entry{s.op_seq, s.key, std::move(s.state)});
       ++counters_.set_batches_sent;
       counters_.set_entries_sent += entries.size();
-      this->broadcast(make_message<set_batch_msg>(
-          batch, pooled_batch<set_entry>(std::move(entries), set_pool_)));
+      message_ptr wire = make_message<set_batch_msg>(
+          batch, pooled_batch<set_entry>(std::move(entries), set_pool_));
+      if (options_.selector) {
+        ++counters_.targeted_set_batches;
+        g.wire = wire;  // for a possible escalation rebroadcast
+        this->multicast(sample_targets(/*is_get=*/false, batch),
+                        std::move(wire));
+        arm_escalation(/*is_get=*/false, batch);
+      } else {
+        this->broadcast(std::move(wire));
+      }
     }
     recheck_waits();
+  }
+
+  /// The write quorum a flush group targets. Gets and sets draw from
+  /// disjoint per-process sample streams (their group sequence numbers
+  /// advance independently), and every draw is a pure function of
+  /// (selector seed, process, stream index) — bit-identical across
+  /// experiment-runner thread counts.
+  process_set sample_targets(bool is_get, std::uint64_t group_seq) {
+    const process_set targets = options_.selector->sample_write(
+        this->id(), group_seq * 2 + (is_get ? 0 : 1));
+    for (process_id p : targets) ++quorum_hits_[p];
+    return targets;
+  }
+
+  void arm_escalation(bool is_get, std::uint64_t group_seq) {
+    if (options_.escalation_timeout <= 0) return;  // mutation switch
+    escalations_[this->set_timer(options_.escalation_timeout)] = {
+        is_get, group_seq};
+  }
+
+  /// A targeted flush group outlived its escalation timeout without
+  /// write-quorum coverage: fall back to the seed's full broadcast.
+  /// Receivers tolerate the duplicate delivery (the collector ignores
+  /// repeat acks; SET entries merge by version, so re-application is a
+  /// no-op) and the broadcast reaches everything flooding can — liveness
+  /// under F is exactly the broadcast engine's.
+  void escalate(int timer_id) {
+    const auto it = escalations_.find(timer_id);
+    if (it == escalations_.end()) return;
+    const auto [is_get, group_seq] = it->second;
+    escalations_.erase(it);
+    if (is_get) {
+      const auto g = get_groups_.find(group_seq);
+      if (g == get_groups_.end() || g->second.have_cutoff) return;
+      ++counters_.escalations;
+      this->broadcast(make_message<probe_msg>(group_seq));
+    } else {
+      const auto g = set_groups_.find(group_seq);
+      if (g == set_groups_.end() || g->second.have_cutoff) return;
+      ++counters_.escalations;
+      this->broadcast(g->second.wire);
+    }
+  }
+
+  /// Point-to-point ack: direct when targeted access is on, the seed's
+  /// flooded unicast otherwise.
+  void reply(process_id origin, message_ptr m) {
+    if (options_.selector)
+      this->multicast(process_set::singleton(origin), std::move(m));
+    else
+      this->unicast(origin, std::move(m));
   }
 
   void gossip_tick() {
@@ -487,13 +584,29 @@ class quorum_service : public component {
   }
 
   void on_gossip(process_id origin, const gossip_msg& m) {
+    sync_clock(m.clock);
     for (const gossip_entry& e : m.entries.items()) apply_entry(origin, e);
     if (streams_[origin].observe(m.gseq, m.clock)) recheck_waits();
   }
 
   void on_repair(process_id origin, const repair_msg& m) {
+    sync_clock(m.clock);
     for (const gossip_entry& e : m.entries) apply_entry(origin, e);
     if (streams_[origin].repair(m.upto_seq, m.clock)) recheck_waits();
+  }
+
+  /// Targeted mode: Lamport-merge the engine clock with gossiped clocks.
+  /// Under targeting only sampled members tick per SET entry, so clock
+  /// *rates* diverge — an untargeted process advancing one clock per
+  /// gossip period would trail a hot member's cutoff by many periods and
+  /// stall every freshness wait behind it. Merging bounds the divergence
+  /// to about one period. Sound: a member's SET ack clock still strictly
+  /// exceeds every clock it gossiped before applying (the apply bumps the
+  /// clock before the ack), so "gossip clock ≥ cutoff ⇒ sent after the
+  /// write was applied" — the Figure 3 freshness invariant — survives.
+  /// Broadcast mode keeps the seed's untouched clocks bit-for-bit.
+  void sync_clock(std::uint64_t seen) {
+    if (options_.selector && clock_ < seen) clock_ = seen;
   }
 
   void on_probe_ack(process_id from, const probe_ack_msg& m) {
@@ -519,7 +632,7 @@ class quorum_service : public component {
         mark_changed(e.key);
       }
     }
-    this->unicast(origin, make_message<set_ack_msg>(m.batch, clock_));
+    reply(origin, make_message<set_ack_msg>(m.batch, clock_));
   }
 
   void on_set_ack(process_id from, const set_ack_msg& m) {
@@ -617,6 +730,8 @@ class quorum_service : public component {
 
   std::vector<gossip_stream> streams_;                // per origin
   std::vector<std::vector<state_type>> cache_;        // [origin][key]
+  std::vector<std::uint64_t> quorum_hits_;            // realized targeting
+  std::map<int, std::pair<bool, std::uint64_t>> escalations_;  // timer → grp
 
   std::vector<staged_get> staged_gets_;
   std::vector<staged_set> staged_sets_;

@@ -10,6 +10,14 @@ void flooding_node::on_message(process_id from, const message_ptr& m) {
     handle(from, std::static_pointer_cast<const envelope>(m));
     return;
   }
+  if (m->type_tag == message_tag_of<direct_msg>()) {
+    // Targeted fast path: deliver in place. No dedup (a physical channel
+    // delivers at most once) and no forwarding (it was addressed to this
+    // process alone).
+    const auto* d = static_cast<const direct_msg*>(m.get());
+    on_deliver(d->origin, d->payload);
+    return;
+  }
   const auto env = std::dynamic_pointer_cast<const envelope>(m);
   if (!env) return;  // flooding nodes only exchange envelopes
   handle(from, env);
@@ -23,6 +31,30 @@ void flooding_node::flood_send(process_id dest, message_ptr payload) {
 
 void flooding_node::flood_broadcast(message_ptr payload) {
   originate(to_all, std::move(payload));
+}
+
+void flooding_node::flood_multicast(process_set dests, message_ptr payload) {
+  if (!dests.is_subset_of(process_set::full(system_size())))
+    throw std::out_of_range("flood_multicast: destination out of range");
+  if (dests.contains(id())) {
+    // Local delivery first, mirroring originate()'s self path.
+    sim().post(id(), [this, payload] { on_deliver(id(), payload); });
+    dests.erase(id());
+  }
+  if (dests.empty()) return;
+  const connectivity_epochs& ep = sim().epochs();
+  const std::size_t e = sim().current_epoch();
+  // One direct physical message per member whose channel is still up and
+  // who is still alive; the wrapper is shared across all of them.
+  const process_set direct = dests & ep.up_out_channels(e, id()) &
+                             ep.alive(e);
+  if (!direct.empty()) {
+    const message_ptr wrapped = make_message<direct_msg>(id(), payload);
+    for (process_id d : direct) send(d, wrapped);
+  }
+  // The rest route around failures like any unicast (or get dropped as
+  // unreachable, which a caller's escalation path must tolerate anyway).
+  for (process_id d : dests - direct) originate(d, payload);
 }
 
 bool flooding_node::mark_seen(process_id origin, std::uint64_t seq) {

@@ -93,11 +93,34 @@ class flooding_node : public node {
   /// paper's "send to all"; quorums may contain the sender).
   void flood_broadcast(message_ptr payload);
 
+  /// Sends payload to exactly the members of `dests` (which may include
+  /// the sender), preferring one *direct* physical message per member —
+  /// the targeted (non-broadcast) quorum-access fast path. A destination
+  /// whose direct channel is already down falls back to a flooded unicast
+  /// (routed around failures); an unreachable one is dropped, exactly as
+  /// flood_send would. Direct messages bypass the envelope/dedup machinery
+  /// entirely: a physical channel delivers at most once, and nobody
+  /// forwards them, so they consume no flooding sequence numbers and leave
+  /// no gaps in any peer's dedup filter. Cost over healthy channels is
+  /// |dests| messages instead of the flooding storm's Θ(n²).
+  void flood_multicast(process_set dests, message_ptr payload);
+
   /// Protocol-level receipt: payload originated at `origin` (which may be
   /// this process itself).
   virtual void on_deliver(process_id origin, const message_ptr& payload) = 0;
 
  private:
+  /// A targeted point-to-point message: delivered where it lands, never
+  /// forwarded, never deduplicated (see flood_multicast).
+  struct direct_msg : message {
+    process_id origin;
+    message_ptr payload;
+
+    direct_msg(process_id o, message_ptr p)
+        : origin(o), payload(std::move(p)) {}
+    std::string debug_name() const override { return "direct"; }
+  };
+
   struct envelope : message {
     process_id origin;
     std::uint64_t seq;

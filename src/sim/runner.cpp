@@ -26,18 +26,25 @@ run_aggregate aggregate(const std::vector<run_result>& results) {
 }
 
 std::string to_json(const run_aggregate& a) {
+  // Integers are locale-proof; every double goes through fmt_json_double
+  // so a comma-decimal global locale cannot corrupt the record. mean/max
+  // ride alongside the percentiles — load-imbalance records (max/mean
+  // per-process load) need both ends of the sample.
   std::ostringstream out;
   out << "{\"runs\": " << a.runs << ", \"failed\": " << a.failed
       << ", \"events\": " << a.totals.events_processed
       << ", \"messages_sent\": " << a.totals.messages_sent
       << ", \"messages_delivered\": " << a.totals.messages_delivered
       << ", \"latency_us\": {\"count\": " << a.latency_us.count
-      << ", \"mean\": " << a.latency_us.mean
-      << ", \"p50\": " << a.latency_us.p50
-      << ", \"p95\": " << a.latency_us.p95
-      << ", \"p99\": " << a.latency_us.p99 << "}"
-      << ", \"wall_ms\": " << a.wall_ms
-      << ", \"events_per_sec\": " << a.events_per_sec << "}";
+      << ", \"mean\": " << fmt_json_double(a.latency_us.mean)
+      << ", \"p50\": " << fmt_json_double(a.latency_us.p50)
+      << ", \"p95\": " << fmt_json_double(a.latency_us.p95)
+      << ", \"p99\": " << fmt_json_double(a.latency_us.p99)
+      << ", \"min\": " << fmt_json_double(a.latency_us.min)
+      << ", \"max\": " << fmt_json_double(a.latency_us.max) << "}"
+      << ", \"wall_ms\": " << fmt_json_double(a.wall_ms)
+      << ", \"events_per_sec\": " << fmt_json_double(a.events_per_sec)
+      << "}";
   return out.str();
 }
 

@@ -27,6 +27,14 @@ class transport {
   virtual ~transport() = default;
   virtual void unicast(process_id dest, message_ptr payload) = 0;
   virtual void broadcast(message_ptr payload) = 0;
+  /// Sends payload to exactly the members of `dests` — the targeted
+  /// quorum-access path. Flooding-backed transports send one direct
+  /// physical message per healthy member (flood_multicast); the default
+  /// degrades to per-member unicasts so bespoke test transports keep
+  /// working unchanged.
+  virtual void multicast(process_set dests, message_ptr payload) {
+    for (process_id d : dests) unicast(d, payload);
+  }
   virtual int set_timer(sim_time delay) = 0;
   virtual process_id self() const = 0;
   virtual process_id size() const = 0;
@@ -55,6 +63,9 @@ class component {
     tr().unicast(dest, std::move(m));
   }
   void broadcast(message_ptr m) { tr().broadcast(std::move(m)); }
+  void multicast(process_set dests, message_ptr m) {
+    tr().multicast(dests, std::move(m));
+  }
   int set_timer(sim_time delay) { return tr().set_timer(delay); }
 
  private:
@@ -95,6 +106,9 @@ class single_host : public flooding_node, private transport {
     flood_send(dest, std::move(m));
   }
   void broadcast(message_ptr m) override { flood_broadcast(std::move(m)); }
+  void multicast(process_set dests, message_ptr m) override {
+    flood_multicast(dests, std::move(m));
+  }
   int set_timer(sim_time delay) override { return node::set_timer(delay); }
   process_id self() const override { return node::id(); }
   process_id size() const override { return node::system_size(); }
@@ -173,6 +187,10 @@ class mux_host : public flooding_node {
     }
     void broadcast(message_ptr m) override {
       host_->flood_broadcast(make_message<tagged>(instance_, std::move(m)));
+    }
+    void multicast(process_set dests, message_ptr m) override {
+      host_->flood_multicast(dests,
+                             make_message<tagged>(instance_, std::move(m)));
     }
     int set_timer(sim_time delay) override {
       const int id = host_->node::set_timer(delay);

@@ -1,0 +1,399 @@
+#include "strategy/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace gqs {
+
+void planner_options::validate(process_id n) const {
+  if (!(read_ratio >= 0.0 && read_ratio <= 1.0))
+    throw std::invalid_argument("planner_options: bad read ratio");
+  if (!capacities.empty() && capacities.size() != n)
+    throw std::invalid_argument("planner_options: capacity vector size");
+  for (double c : capacities)
+    if (!(c > 0))
+      throw std::invalid_argument("planner_options: nonpositive capacity");
+  if (!(tolerance > 0))
+    throw std::invalid_argument("planner_options: bad tolerance");
+  if (max_iterations < 1)
+    throw std::invalid_argument("planner_options: bad iteration budget");
+}
+
+namespace {
+
+/// Inverse capacities c_p = 1/cap_p (all ones when capacities are absent).
+std::vector<double> inverse_capacities(process_id n,
+                                       const std::vector<double>& caps) {
+  std::vector<double> inv(n, 1.0);
+  for (process_id p = 0; p < caps.size() && p < n; ++p)
+    inv[p] = 1.0 / caps[p];
+  return inv;
+}
+
+/// The Hedge adversary over processes: maintains cumulative payoffs and
+/// produces the exponential-weights distribution with a horizon-free step
+/// size. The certificates computed by the callers are exact for *any*
+/// weight sequence, so the schedule only affects convergence speed.
+class hedge_adversary {
+ public:
+  explicit hedge_adversary(process_id n) : cum_(n, 0.0), w_(n, 0.0) {}
+
+  const std::vector<double>& weights(int t) {
+    const double n = static_cast<double>(cum_.size());
+    const double eta =
+        std::sqrt(8.0 * std::log(std::max(2.0, n)) / static_cast<double>(t));
+    const double top = *std::max_element(cum_.begin(), cum_.end());
+    double total = 0;
+    for (std::size_t p = 0; p < cum_.size(); ++p) {
+      w_[p] = std::exp(eta * (cum_[p] - top));
+      total += w_[p];
+    }
+    for (double& w : w_) w /= total;
+    return w_;
+  }
+
+  void reward(process_id p, double payoff) { cum_[p] += payoff; }
+
+ private:
+  std::vector<double> cum_;
+  std::vector<double> w_;
+};
+
+double set_score(process_set s, const std::vector<double>& weighted) {
+  double score = 0;
+  for (process_id p : s) score += weighted[p];
+  return score;
+}
+
+/// argmin over a family of set_score; ties break to the lowest index so
+/// the iteration is fully deterministic.
+std::pair<std::size_t, double> best_quorum(
+    const quorum_family& family, const std::vector<double>& weighted) {
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    const double score = set_score(family[i], weighted);
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return {best, best_score};
+}
+
+void check_family(const quorum_family& family, const char* which) {
+  if (family.empty())
+    throw std::invalid_argument(std::string("plan_optimal: empty ") + which +
+                                " family");
+  for (const process_set& q : family)
+    if (q.empty())
+      throw std::invalid_argument(std::string("plan_optimal: empty ") +
+                                  which + " quorum");
+}
+
+/// One round's best response against the weighted adversary: the chosen
+/// read/write members and the response's score (the round's lower-bound
+/// certificate).
+struct saddle_response {
+  process_set read_members;
+  process_set write_members;
+  double score = 0;
+};
+
+struct saddle_outcome {
+  double lower_bound = 0;  ///< best certified LB over all rounds
+  double upper_bound = 0;  ///< weighted load of the best averaged strategy
+  int best_t = 0;          ///< round whose average achieved upper_bound
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// The Hedge-vs-best-response loop with exact certificates, shared by the
+/// plain and the f-aware optimizers (their certification bookkeeping must
+/// never diverge). `respond(weighted)` picks the quorum player's action
+/// against the capacity-weighted adversary distribution — recording any
+/// per-action counts of its own — and `snapshot()` fires whenever the
+/// running average becomes the new best, so the caller can copy those
+/// counts at exactly the certified iterate.
+template <class Respond, class Snapshot>
+saddle_outcome run_saddle_point(process_id n, double rho,
+                                const std::vector<double>& inv_cap,
+                                const planner_options& options,
+                                Respond respond, Snapshot snapshot) {
+  const double scale = *std::max_element(inv_cap.begin(), inv_cap.end());
+  hedge_adversary adversary(n);
+  std::vector<double> weighted(n, 0.0);
+  std::vector<double> hits(n, 0.0);  // ρ-mixed membership counts
+  saddle_outcome out;
+  out.upper_bound = std::numeric_limits<double>::infinity();
+  for (int t = 1; t <= options.max_iterations; ++t) {
+    out.iterations = t;
+    const std::vector<double>& w = adversary.weights(t);
+    for (process_id p = 0; p < n; ++p) weighted[p] = w[p] * inv_cap[p];
+
+    // Exact best response; its score certifies the lower bound
+    // min_σ Σ_p w_p·load_σ(p)/cap_p ≤ optimum (a max dominates any
+    // average).
+    const saddle_response resp = respond(weighted);
+    out.lower_bound = std::max(out.lower_bound, resp.score);
+
+    for (process_id p : resp.read_members) hits[p] += rho;
+    for (process_id p : resp.write_members) hits[p] += 1.0 - rho;
+
+    // Weighted load of the averaged strategy so far — feasible, hence an
+    // upper bound; keep the best average seen.
+    double ub = 0;
+    for (process_id p = 0; p < n; ++p)
+      ub = std::max(ub, hits[p] * inv_cap[p] / static_cast<double>(t));
+    if (ub < out.upper_bound) {
+      out.upper_bound = ub;
+      out.best_t = t;
+      snapshot();
+    }
+
+    // Reward the adversary where the chosen quorums put load.
+    for (process_id p : resp.read_members)
+      adversary.reward(p, rho * inv_cap[p] / scale);
+    for (process_id p : resp.write_members)
+      adversary.reward(p, (1.0 - rho) * inv_cap[p] / scale);
+
+    if (out.upper_bound - out.lower_bound <= options.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+plan_result plan_optimal(process_id n, const quorum_family& reads,
+                         const quorum_family& writes,
+                         const planner_options& options) {
+  options.validate(n);
+  check_family(reads, "read");
+  check_family(writes, "write");
+  for (const quorum_family* family : {&reads, &writes})
+    for (const process_set& q : *family)
+      for (process_id p : q)
+        if (p >= n)
+          throw std::invalid_argument("plan_optimal: quorum member >= n");
+
+  const double rho = options.read_ratio;
+  const std::vector<double> inv_cap = inverse_capacities(n,
+                                                         options.capacities);
+  std::vector<double> read_count(reads.size(), 0.0);
+  std::vector<double> write_count(writes.size(), 0.0);
+  std::vector<double> best_read_count, best_write_count;
+  // The read/write product decomposes: the joint best response is the
+  // pair of independent per-family argmins, and the averaged product
+  // strategy's load depends only on the two marginals.
+  const saddle_outcome out = run_saddle_point(
+      n, rho, inv_cap, options,
+      [&](const std::vector<double>& weighted) {
+        const auto [i_read, s_read] = best_quorum(reads, weighted);
+        const auto [i_write, s_write] = best_quorum(writes, weighted);
+        read_count[i_read] += 1.0;
+        write_count[i_write] += 1.0;
+        return saddle_response{reads[i_read], writes[i_write],
+                               rho * s_read + (1.0 - rho) * s_write};
+      },
+      [&] {
+        best_read_count = read_count;
+        best_write_count = write_count;
+      });
+
+  plan_result result;
+  result.iterations = out.iterations;
+  result.converged = out.converged;
+  result.strategy.read_ratio = rho;
+  result.strategy.reads.quorums = reads;
+  result.strategy.writes.quorums = writes;
+  result.strategy.reads.weights.resize(reads.size());
+  result.strategy.writes.weights.resize(writes.size());
+  for (std::size_t i = 0; i < reads.size(); ++i)
+    result.strategy.reads.weights[i] =
+        best_read_count[i] / static_cast<double>(out.best_t);
+  for (std::size_t i = 0; i < writes.size(); ++i)
+    result.strategy.writes.weights[i] =
+        best_write_count[i] / static_cast<double>(out.best_t);
+  result.strategy.reads.prune();
+  result.strategy.writes.prune();
+  result.strategy.validate();
+
+  result.load = per_process_load(result.strategy, n);
+  result.system_load = 0;
+  result.weighted_load = 0;
+  for (process_id p = 0; p < n; ++p) {
+    result.system_load = std::max(result.system_load, result.load[p]);
+    result.weighted_load =
+        std::max(result.weighted_load, result.load[p] * inv_cap[p]);
+  }
+  result.lower_bound = std::min(out.lower_bound, result.weighted_load);
+  result.gap = result.weighted_load - result.lower_bound;
+  result.capacity = result.weighted_load > 0
+                        ? 1.0 / result.weighted_load
+                        : std::numeric_limits<double>::infinity();
+  result.network_cost = expected_network_cost(result.strategy);
+  return result;
+}
+
+plan_result plan_optimal(const generalized_quorum_system& gqs,
+                         const planner_options& options) {
+  return plan_optimal(gqs.system_size(), gqs.reads, gqs.writes, options);
+}
+
+std::optional<available_pair> pattern_plan::top_pair() const {
+  if (pairs.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < weights.size(); ++i)
+    if (weights[i] > weights[best]) best = i;
+  return pairs[best];
+}
+
+pattern_plan plan_for_pattern(const generalized_quorum_system& gqs,
+                              std::size_t pattern_index,
+                              const planner_options& options) {
+  const process_id n = gqs.system_size();
+  options.validate(n);
+  pattern_plan plan;
+  plan.pattern_index = pattern_index;
+  plan.pairs = all_available_pairs(gqs, gqs.fps[pattern_index]);
+  if (plan.pairs.empty()) return plan;  // pattern breaks the system
+  plan.feasible = true;
+
+  const double rho = options.read_ratio;
+  const std::vector<double> inv_cap = inverse_capacities(n,
+                                                         options.capacities);
+  std::vector<double> count(plan.pairs.size(), 0.0);
+  std::vector<double> best_count;
+  // Best response over the *pairs* — reads and writes are coupled here
+  // because only validated combinations may carry mass.
+  const saddle_outcome out = run_saddle_point(
+      n, rho, inv_cap, options,
+      [&](const std::vector<double>& weighted) {
+        std::size_t best = 0;
+        double best_score = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < plan.pairs.size(); ++i) {
+          const double score =
+              rho * set_score(plan.pairs[i].read_quorum, weighted) +
+              (1.0 - rho) * set_score(plan.pairs[i].write_quorum, weighted);
+          if (score < best_score) {
+            best_score = score;
+            best = i;
+          }
+        }
+        count[best] += 1.0;
+        return saddle_response{plan.pairs[best].read_quorum,
+                               plan.pairs[best].write_quorum, best_score};
+      },
+      [&] { best_count = count; });
+  plan.converged = out.converged;
+
+  plan.weights.resize(plan.pairs.size());
+  for (std::size_t i = 0; i < plan.pairs.size(); ++i)
+    plan.weights[i] = best_count[i] / static_cast<double>(out.best_t);
+
+  plan.load.assign(n, 0.0);
+  for (std::size_t i = 0; i < plan.pairs.size(); ++i) {
+    for (process_id p : plan.pairs[i].read_quorum)
+      plan.load[p] += rho * plan.weights[i];
+    for (process_id p : plan.pairs[i].write_quorum)
+      plan.load[p] += (1.0 - rho) * plan.weights[i];
+  }
+  plan.weighted_load = 0;
+  for (process_id p = 0; p < n; ++p)
+    plan.weighted_load = std::max(plan.weighted_load,
+                                  plan.load[p] * inv_cap[p]);
+  plan.lower_bound = std::min(out.lower_bound, plan.weighted_load);
+  plan.gap = plan.weighted_load - plan.lower_bound;
+  return plan;
+}
+
+std::vector<pattern_plan> plan_all_patterns(
+    const generalized_quorum_system& gqs, const planner_options& options) {
+  std::vector<pattern_plan> plans;
+  plans.reserve(gqs.fps.size());
+  for (std::size_t i = 0; i < gqs.fps.size(); ++i)
+    plans.push_back(plan_for_pattern(gqs, i, options));
+  return plans;
+}
+
+namespace {
+
+/// Does the family have a valid (W, R) pair when only `alive` survives,
+/// over `base` restricted to the survivors? Exactly the Definition 2
+/// conditions for the crash-realized pattern, answered by the shared
+/// scan in core/quorum_system.
+bool family_survives(const quorum_family& reads, const quorum_family& writes,
+                     const digraph& base, process_set alive) {
+  digraph residual = base;
+  residual.remove_vertices(alive.complement_in(base.vertex_count()));
+  return !available_pairs_in(reads, writes, alive, residual,
+                             /*first_only=*/true)
+              .empty();
+}
+
+}  // namespace
+
+availability_estimate estimate_availability(
+    process_id n, const quorum_family& reads, const quorum_family& writes,
+    const digraph* topology, const availability_options& options) {
+  if (n == 0 || n > process_set::max_processes)
+    throw std::invalid_argument("estimate_availability: bad n");
+  std::vector<double> fail(n, options.fail_probability);
+  if (options.fail_probabilities.size() == 1)
+    fail.assign(n, options.fail_probabilities.front());
+  else if (!options.fail_probabilities.empty()) {
+    if (options.fail_probabilities.size() != n)
+      throw std::invalid_argument(
+          "estimate_availability: failure-probability vector size");
+    fail = options.fail_probabilities;
+  }
+  for (double q : fail)
+    if (!(q >= 0.0 && q <= 1.0))
+      throw std::invalid_argument(
+          "estimate_availability: probability out of range");
+
+  const digraph base = topology ? *topology : digraph::complete(n);
+  if (base.vertex_count() != n)
+    throw std::invalid_argument("estimate_availability: topology size");
+
+  availability_estimate est;
+  if (n <= options.exact_max_n) {
+    est.exact = true;
+    const std::uint64_t subsets = std::uint64_t{1} << n;
+    est.trials = subsets;
+    for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+      const process_set alive(mask);
+      double prob = 1.0;
+      for (process_id p = 0; p < n; ++p)
+        prob *= alive.contains(p) ? (1.0 - fail[p]) : fail[p];
+      if (prob == 0.0) continue;
+      if (family_survives(reads, writes, base, alive))
+        est.probability += prob;
+    }
+    return est;
+  }
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uint64_t survived = 0;
+  for (std::uint64_t s = 0; s < options.samples; ++s) {
+    process_set alive;
+    for (process_id p = 0; p < n; ++p)
+      if (coin(rng) >= fail[p]) alive.insert(p);
+    if (family_survives(reads, writes, base, alive)) ++survived;
+  }
+  est.trials = options.samples;
+  est.probability = options.samples > 0
+                        ? static_cast<double>(survived) /
+                              static_cast<double>(options.samples)
+                        : 0.0;
+  return est;
+}
+
+}  // namespace gqs

@@ -1,0 +1,142 @@
+// planner.hpp — the offline quorum-strategy planner.
+//
+// Finds the strategy that minimizes the (capacity-weighted) system load of
+// a read/write quorum family:
+//
+//   minimize over σ = (σ_R, σ_W)   max_p  load_σ(p) / cap_p
+//
+// a linear program over the product of two probability simplices. The
+// solver is a self-contained deterministic saddle-point iteration
+// (multiplicative weights / Hedge over the process "adversary", exact
+// best responses over the quorum player) that terminates with a
+// *certified* optimality gap:
+//
+//   * upper bound — the weighted load of the averaged strategy, which is
+//     feasible by construction;
+//   * lower bound — for any distribution w over processes,
+//       min_σ Σ_p w_p · load_σ(p)/cap_p
+//         = ρ · min_R Σ_{p∈R} w_p/cap_p + (1−ρ) · min_W Σ_{p∈W} w_p/cap_p
+//     bounds the optimum from below (a max is at least any average).
+//
+// Both bounds are exact regardless of step-size schedule, so the reported
+// gap is trustworthy even if the iteration is stopped early.
+//
+// The GQS lift (the part that is new relative to the classical planners):
+// availability in a generalized quorum system is *directional and
+// per-failure-pattern* — a write quorum must be f-available and f-reachable
+// from its read quorum, per pattern f. The f-aware planner therefore
+// optimizes, for each f ∈ F, a distribution over the *valid (W, R) pairs*
+// of that pattern, never assigning mass to a pair that Definition 2 would
+// reject under f. The failure-probability estimator evaluates a family
+// under independent process failures over an arbitrary base topology
+// (exact enumeration for small n, seeded Monte Carlo above).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/quorum_system.hpp"
+#include "strategy/strategy.hpp"
+
+namespace gqs {
+
+struct planner_options {
+  /// Fraction of accesses that are reads (ρ).
+  double read_ratio = 0.5;
+  /// Per-process capacities; empty means every process has capacity 1
+  /// (the classical unweighted load).
+  std::vector<double> capacities;
+  /// Target certified gap, in weighted-load units.
+  double tolerance = 1e-3;
+  /// Iteration budget; the result reports `converged = false` when the
+  /// tolerance was not reached within it.
+  int max_iterations = 50000;
+
+  void validate(process_id n) const;
+};
+
+/// An optimized strategy with its certificates.
+struct plan_result {
+  read_write_strategy strategy;
+  std::vector<double> load;   ///< combined per-process load of `strategy`
+  double system_load = 0;     ///< max_p load(p) (unweighted)
+  double weighted_load = 0;   ///< max_p load(p)/cap_p — the objective (UB)
+  double lower_bound = 0;     ///< certified lower bound on the optimum
+  double gap = 0;             ///< weighted_load − lower_bound
+  double capacity = 0;        ///< 1 / weighted_load: sustainable throughput
+  double network_cost = 0;    ///< expected request messages per access
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Optimal (to `tolerance`) strategy for a read/write family on n
+/// processes, ignoring failure patterns.
+plan_result plan_optimal(process_id n, const quorum_family& reads,
+                         const quorum_family& writes,
+                         const planner_options& options = {});
+
+/// Convenience overload over a GQS's families.
+plan_result plan_optimal(const generalized_quorum_system& gqs,
+                         const planner_options& options = {});
+
+/// The f-aware strategy of one failure pattern: a distribution over the
+/// pattern's valid (W, R) pairs — W f-available and f-reachable from R —
+/// so every sampled access survives f by construction.
+struct pattern_plan {
+  std::size_t pattern_index = 0;
+  std::vector<available_pair> pairs;  ///< the support (valid pairs only)
+  std::vector<double> weights;        ///< distribution over `pairs`
+  std::vector<double> load;           ///< combined per-process load
+  double weighted_load = 0;           ///< objective value (UB)
+  double lower_bound = 0;
+  double gap = 0;
+  bool converged = false;
+  bool feasible = false;  ///< false iff the pattern has no valid pair
+
+  /// The pair targeted with highest probability (presentation helper).
+  std::optional<available_pair> top_pair() const;
+};
+
+/// Optimizes the strategy conditioned on pattern `pattern_index` of
+/// gqs.fps: only that pattern's valid pairs may carry mass.
+pattern_plan plan_for_pattern(const generalized_quorum_system& gqs,
+                              std::size_t pattern_index,
+                              const planner_options& options = {});
+
+/// One pattern_plan per pattern of gqs.fps, in pattern order.
+std::vector<pattern_plan> plan_all_patterns(
+    const generalized_quorum_system& gqs,
+    const planner_options& options = {});
+
+// ---- independent-failure availability estimation ----
+
+struct availability_options {
+  /// Per-process independent failure probabilities; a single entry is
+  /// broadcast to all processes; empty means fail_probability everywhere.
+  std::vector<double> fail_probabilities;
+  double fail_probability = 0.1;
+  /// Up to this n the 2^n crash subsets are enumerated exactly; above it
+  /// the estimator switches to seeded Monte Carlo.
+  process_id exact_max_n = 14;
+  std::uint64_t samples = 20000;
+  std::uint64_t seed = 1;
+};
+
+struct availability_estimate {
+  double probability = 0;  ///< Pr[some valid (W, R) pair survives]
+  bool exact = false;      ///< true iff computed by full enumeration
+  std::uint64_t trials = 0;
+};
+
+/// Probability, under independent process failures, that the family still
+/// has a valid (W, R) pair in the directional GQS sense over `topology`
+/// restricted to the surviving processes (W strongly connected there, R
+/// reaching W). `topology == nullptr` means the complete graph — which
+/// collapses to the classical "some all-correct R and W" availability.
+availability_estimate estimate_availability(
+    process_id n, const quorum_family& reads, const quorum_family& writes,
+    const digraph* topology = nullptr,
+    const availability_options& options = {});
+
+}  // namespace gqs

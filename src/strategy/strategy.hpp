@@ -1,0 +1,101 @@
+// strategy.hpp — quorum strategies and their load/capacity analysis.
+//
+// A *strategy* is a probability distribution over the quorums of a family:
+// each access draws one quorum from the distribution and contacts exactly
+// its members. The quorum-system literature treats the strategy — not the
+// family — as the lever for load and throughput (Naor & Wool; Malkhi,
+// Reiter & Wool, "The Load and Availability of Byzantine Quorum Systems";
+// Whittaker et al., "Read-Write Quorum Systems Made Practical"):
+//
+//   load_σ(p)   = Σ_{Q ∋ p} σ(Q)        probability an access touches p;
+//   L(σ)        = max_p load_σ(p)       the system load of σ;
+//   L(Q)        = min_σ L(σ)            the (optimal) load of the family.
+//
+// Under heterogeneous per-process capacities cap_p (operations/sec a
+// process can serve), a strategy sustains total throughput λ as long as
+// λ · load_σ(p) ≤ cap_p everywhere, so
+//
+//   capacity(σ) = min_p cap_p / load_σ(p)   (over p with load_σ(p) > 0),
+//
+// and maximizing capacity is the same as minimizing the *weighted* load
+// max_p load_σ(p) / cap_p. This file defines the strategy types and the
+// closed-form analysis; the optimizer that searches for the best strategy
+// lives in strategy/planner.hpp, and the runtime sampler that turns a
+// strategy into targeted (non-broadcast) quorum accesses lives in
+// strategy/selector.hpp.
+//
+// A read/write system has two families; accesses split into reads and
+// writes with a read fraction ρ, and the combined per-process load is
+//
+//   load(p) = ρ · load_{σ_R}(p) + (1 − ρ) · load_{σ_W}(p).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/quorum_system.hpp"
+
+namespace gqs {
+
+/// A probability distribution over the quorums of one family. weights[i]
+/// is the probability of quorums[i]; weights sum to 1.
+struct quorum_strategy {
+  quorum_family quorums;
+  std::vector<double> weights;
+
+  void validate() const;
+
+  /// The uniform strategy over a family.
+  static quorum_strategy uniform(quorum_family family);
+
+  /// All mass on a single quorum.
+  static quorum_strategy pure(process_set quorum);
+
+  /// Probability that a draw contains p: Σ_{Q ∋ p} σ(Q).
+  double member_probability(process_id p) const;
+
+  /// Expected size of a drawn quorum — the expected number of processes
+  /// contacted (and, symmetrically, of replies) per targeted access.
+  double expected_quorum_size() const;
+
+  /// Drops zero-weight entries and renormalizes (guards against the
+  /// optimizer's numerical dust). Keeps at least one entry.
+  void prune(double epsilon = 1e-9);
+};
+
+/// A read strategy, a write strategy and the workload's read fraction.
+struct read_write_strategy {
+  quorum_strategy reads;
+  quorum_strategy writes;
+  double read_ratio = 0.5;  ///< ρ — fraction of accesses that are reads
+
+  void validate() const;
+};
+
+/// Per-process load of a read/write strategy:
+/// ρ · load_{σ_R}(p) + (1 − ρ) · load_{σ_W}(p) for p in 0..n-1.
+std::vector<double> per_process_load(const read_write_strategy& s,
+                                     process_id n);
+
+/// max_p load(p) — the system load of the strategy.
+double system_load(const read_write_strategy& s, process_id n);
+
+/// Throughput the strategy sustains under per-process capacities:
+/// min over loaded p of capacities[p] / load(p). An empty capacity vector
+/// means unit capacities. Returns +inf if no process is ever loaded.
+double strategy_capacity(const read_write_strategy& s, process_id n,
+                         const std::vector<double>& capacities = {});
+
+/// Expected processes contacted per access (the targeted-runtime network
+/// cost, in request messages per operation):
+/// ρ · E|R| + (1 − ρ) · E|W|.
+double expected_network_cost(const read_write_strategy& s);
+
+/// The broadcast baseline cost for comparison: every access contacts all
+/// n processes regardless of quorum size.
+inline double broadcast_network_cost(process_id n) {
+  return static_cast<double>(n);
+}
+
+}  // namespace gqs

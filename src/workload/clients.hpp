@@ -166,6 +166,17 @@ class workload_driver {
     return out;
   }
 
+  /// Operations issued per client process — the issue-side half of the
+  /// load report. The serve-side half (which processes each operation's
+  /// sampled quorum actually touched) comes from the engine:
+  /// quorum_service::per_process_quorum_hits(); a bench holds the two
+  /// against the planner's predicted load_σ(p).
+  std::vector<std::uint64_t> per_process_ops() const {
+    std::vector<std::uint64_t> out(sim_->size(), 0);
+    for (const keyed_register_op& rec : history_) ++out[rec.op.proc];
+    return out;
+  }
+
  private:
   struct client {
     std::size_t next_issue = 0;  // closed-loop schedule cursor

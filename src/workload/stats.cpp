@@ -1,6 +1,9 @@
 #include "workload/stats.hpp"
 
 #include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
 #include <numeric>
 #include <sstream>
 
@@ -26,6 +29,17 @@ sample_summary summarize(std::vector<double> values) {
   s.min = values.front();
   s.max = values.back();
   return s;
+}
+
+std::string fmt_json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  // std::to_chars is locale-independent by specification and emits the
+  // shortest representation that round-trips.
+  std::array<char, 32> buf;
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(),
+                                       v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf.data(), end);
 }
 
 std::string fmt_latency_summary(const sample_summary& s) {

@@ -41,4 +41,11 @@ class sample_accumulator {
 /// "mean / p50 / p95" rendered in milliseconds from microsecond samples.
 std::string fmt_latency_summary(const sample_summary& s);
 
+/// Renders a double for a JSON document: shortest round-trip form with a
+/// '.' decimal separator regardless of the global C++/C locale (iostream
+/// formatting picks up the locale's numpunct — a comma decimal point
+/// would silently corrupt every record). Non-finite values (which JSON
+/// cannot carry) render as 0.
+std::string fmt_json_double(double v);
+
 }  // namespace gqs

@@ -122,6 +122,41 @@ digraph make_topology(const topology_params& params) {
   throw std::invalid_argument("make_topology: unknown kind");
 }
 
+std::string to_string(capacity_profile profile) {
+  switch (profile) {
+    case capacity_profile::uniform:
+      return "uniform";
+    case capacity_profile::linear:
+      return "linear";
+    case capacity_profile::hub_heavy:
+      return "hub_heavy";
+  }
+  return "unknown";
+}
+
+std::vector<double> process_capacities(const scenario_params& params) {
+  const process_id n = params.topology.n;
+  const capacity_params& cp = params.capacities;
+  if (!(cp.min_factor > 0) || !(cp.max_factor > 0))
+    throw std::invalid_argument("process_capacities: nonpositive factor");
+  std::vector<double> caps(n, cp.max_factor);
+  switch (cp.profile) {
+    case capacity_profile::uniform:
+      break;
+    case capacity_profile::linear:
+      for (process_id p = 0; p < n; ++p)
+        caps[p] = n > 1 ? cp.min_factor + (cp.max_factor - cp.min_factor) *
+                              static_cast<double>(p) /
+                              static_cast<double>(n - 1)
+                        : cp.max_factor;
+      break;
+    case capacity_profile::hub_heavy:
+      for (process_id p = 1; p < n; ++p) caps[p] = cp.min_factor;
+      break;
+  }
+  return caps;
+}
+
 failure_pattern scenario_failure_pattern(const digraph& network,
                                          const scenario_params& params,
                                          std::mt19937_64& rng) {
@@ -178,6 +213,22 @@ std::vector<scenario_family> topology_corpus(process_id max_n) {
     p.patterns = patterns;
     p.crash_probability = crash_p;
     p.channel_fail_probability = chan_p;
+    // Heterogeneous capacity realizations where the topology makes them
+    // meaningful: a star hub serves most routes, cluster/geometric ids
+    // ramp — so capacity-aware strategies have something to exploit.
+    switch (kind) {
+      case topology_kind::star:
+        p.capacities = {capacity_profile::hub_heavy, 0.5, 2.0};
+        break;
+      case topology_kind::clusters:
+        p.capacities = {capacity_profile::linear, 1.0, 2.0};
+        break;
+      case topology_kind::geometric:
+        p.capacities = {capacity_profile::linear, 0.5, 1.5};
+        break;
+      default:
+        break;
+    }
     corpus.push_back(
         {to_string(kind) + std::to_string(n) + suffix, std::move(p)});
   };

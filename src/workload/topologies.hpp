@@ -53,6 +53,25 @@ struct topology_params {
 /// given parameter set (geometric placement is seeded).
 digraph make_topology(const topology_params& params);
 
+/// How per-process serving capacity varies across a scenario's processes
+/// (operations/sec each can absorb, in arbitrary units). The strategy
+/// planner (strategy/planner.hpp) consumes these to skew load away from
+/// weak processes; uniform capacities reproduce the classical unweighted
+/// load objective.
+enum class capacity_profile {
+  uniform,    ///< every process has capacity max_factor
+  linear,     ///< ramp from min_factor (id 0) to max_factor (id n−1)
+  hub_heavy,  ///< process 0 gets max_factor, everyone else min_factor
+};
+
+std::string to_string(capacity_profile profile);
+
+struct capacity_params {
+  capacity_profile profile = capacity_profile::uniform;
+  double min_factor = 1.0;
+  double max_factor = 1.0;
+};
+
 /// A failure family over a topology: how many patterns to draw and how
 /// much to break per pattern.
 struct scenario_params {
@@ -61,7 +80,12 @@ struct scenario_params {
   double crash_probability = 0.1;   ///< each process crashes independently
   double channel_fail_probability = 0.1;  ///< each *topology* edge
   bool keep_one_correct = true;   ///< force at least one correct process
+  capacity_params capacities;     ///< per-process capacity realization
 };
+
+/// Realizes the scenario's per-process capacity vector: length n, every
+/// entry positive, a pure function of the parameters.
+std::vector<double> process_capacities(const scenario_params& params);
 
 /// Draws one scenario failure pattern over `network`: random crashes, all
 /// non-topology channels between correct processes failed, topology edges

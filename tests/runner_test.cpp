@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <stdexcept>
 
 #include "core/factories.hpp"
@@ -143,6 +144,54 @@ TEST(Runner, AggregateRendersJson) {
   const std::string json = to_json(aggregate({}));
   EXPECT_NE(json.find("\"runs\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"events_per_sec\": 0"), std::string::npos);
+}
+
+TEST(Runner, JsonCarriesMeanAndMax) {
+  run_result r;
+  r.latencies_us = {1.5, 2.5, 10.0};
+  const std::string json = to_json(aggregate({r}));
+  // Load-imbalance records need both ends of the sample, not just the
+  // percentiles.
+  EXPECT_NE(json.find("\"mean\": "), std::string::npos);
+  EXPECT_NE(json.find("\"min\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+}
+
+namespace {
+
+/// A numpunct facet with a comma decimal separator — the shape of locale
+/// that corrupts naive iostream-rendered JSON.
+class comma_numpunct : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+}  // namespace
+
+TEST(Runner, JsonIsLocaleIndependent) {
+  const std::locale previous = std::locale::global(
+      std::locale(std::locale::classic(), new comma_numpunct));
+  std::string json;
+  try {
+    run_result r;
+    r.latencies_us = {1234.5, 2.25};
+    r.wall_ms = 1.5;
+    json = to_json(aggregate({r}));
+  } catch (...) {
+    std::locale::global(previous);
+    throw;
+  }
+  std::locale::global(previous);
+  // No comma decimal points, no thousands grouping: every double must
+  // render with '.' exactly as under the classic locale.
+  EXPECT_EQ(json.find(','), json.find(", "))
+      << "first ',' must start a field separator, not a decimal: " << json;
+  EXPECT_NE(json.find("\"mean\": 618.375"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": 1234.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ms\": 1.5"), std::string::npos) << json;
 }
 
 TEST(Runner, GridSeedStableAndDecorrelated) {

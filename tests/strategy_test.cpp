@@ -1,0 +1,389 @@
+// strategy_test — the quorum-strategy planner: load/capacity math, the
+// certified MW optimizer against brute-force enumeration over the
+// topology corpus, f-aware pair validity, the independent-failure
+// availability estimator, and the deterministic runtime selector.
+#include "strategy/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/existence.hpp"
+#include "core/factories.hpp"
+#include "strategy/selector.hpp"
+#include "workload/topologies.hpp"
+
+namespace gqs {
+namespace {
+
+quorum_family two_subsets_of_three() {
+  return {process_set{0, 1}, process_set{0, 2}, process_set{1, 2}};
+}
+
+TEST(Strategy, BasicsAndValidation) {
+  quorum_strategy u = quorum_strategy::uniform(two_subsets_of_three());
+  u.validate();
+  EXPECT_DOUBLE_EQ(u.member_probability(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(u.expected_quorum_size(), 2.0);
+
+  quorum_strategy p = quorum_strategy::pure(process_set{1});
+  p.validate();
+  EXPECT_DOUBLE_EQ(p.member_probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(p.member_probability(0), 0.0);
+
+  quorum_strategy bad = u;
+  bad.weights[0] = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = u;
+  bad.weights[0] += 0.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = u;
+  bad.weights.pop_back();
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  quorum_strategy dusty;
+  dusty.quorums = two_subsets_of_three();
+  dusty.weights = {0.5, 1e-12, 0.5 - 1e-12};
+  dusty.prune();
+  EXPECT_EQ(dusty.quorums.size(), 2u);
+  dusty.validate();
+}
+
+TEST(Strategy, LoadCapacityAndCostFormulas) {
+  read_write_strategy s;
+  s.reads = quorum_strategy::pure(process_set{0, 1});
+  s.writes = quorum_strategy::pure(process_set{1, 2});
+  s.read_ratio = 0.75;
+  s.validate();
+
+  const std::vector<double> load = per_process_load(s, 4);
+  EXPECT_DOUBLE_EQ(load[0], 0.75);
+  EXPECT_DOUBLE_EQ(load[1], 1.0);
+  EXPECT_DOUBLE_EQ(load[2], 0.25);
+  EXPECT_DOUBLE_EQ(load[3], 0.0);
+  EXPECT_DOUBLE_EQ(system_load(s, 4), 1.0);
+  EXPECT_DOUBLE_EQ(strategy_capacity(s, 4), 1.0);
+  // Process 1 has capacity 4: the bottleneck moves to process 0.
+  EXPECT_DOUBLE_EQ(strategy_capacity(s, 4, {1, 4, 1, 1}), 1.0 / 0.75);
+  EXPECT_DOUBLE_EQ(expected_network_cost(s), 2.0);
+  EXPECT_DOUBLE_EQ(broadcast_network_cost(4), 4.0);
+}
+
+TEST(Planner, SingleQuorumConvergesImmediately) {
+  const quorum_family only = {process_set{0, 1}};
+  const plan_result plan = plan_optimal(2, only, only);
+  EXPECT_TRUE(plan.converged);
+  EXPECT_DOUBLE_EQ(plan.weighted_load, 1.0);
+  EXPECT_DOUBLE_EQ(plan.system_load, 1.0);
+  EXPECT_NEAR(plan.gap, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.network_cost, 2.0);
+}
+
+TEST(Planner, NailsMajoritySystem) {
+  // Classical 2-of-3 majority: every strategy has Σ_p load(p) = E|Q| = 2,
+  // so max_p load ≥ 2/3; the uniform strategy attains it.
+  const quorum_family maj = two_subsets_of_three();
+  const plan_result plan = plan_optimal(3, maj, maj);
+  EXPECT_TRUE(plan.converged);
+  EXPECT_GE(plan.weighted_load, 2.0 / 3.0 - 1e-9);
+  EXPECT_LE(plan.weighted_load, 2.0 / 3.0 + 0.01);
+  EXPECT_LE(plan.lower_bound, 2.0 / 3.0 + 1e-9);
+  EXPECT_NEAR(plan.capacity, 1.5, 0.05);
+}
+
+TEST(Planner, RespectsHeterogeneousCapacities) {
+  // Two singleton quorums, capacities 1 and 3: minimize
+  // max(x/1, (1-x)/3) → x = 1/4, objective 1/4, capacity 4.
+  const quorum_family singles = {process_set{0}, process_set{1}};
+  planner_options options;
+  options.capacities = {1.0, 3.0};
+  const plan_result plan = plan_optimal(2, singles, singles, options);
+  EXPECT_TRUE(plan.converged);
+  EXPECT_NEAR(plan.weighted_load, 0.25, 0.01);
+  EXPECT_NEAR(plan.capacity, 4.0, 0.2);
+  // Three quarters of the mass must sit on the strong process.
+  double strong_mass = 0;
+  for (std::size_t i = 0; i < plan.strategy.writes.quorums.size(); ++i)
+    if (plan.strategy.writes.quorums[i].contains(1))
+      strong_mass += plan.strategy.writes.weights[i];
+  EXPECT_NEAR(strong_mass, 0.75, 0.05);
+}
+
+TEST(Planner, Figure1IsBalancedAtHalf) {
+  // Figure 1: every process sits in exactly 2 of 4 read and 2 of 4 write
+  // quorums of size 2, so Σ_p load(p) = 2 and the optimum is 2/4 = 1/2.
+  const plan_result plan = plan_optimal(make_figure1().gqs);
+  EXPECT_TRUE(plan.converged);
+  EXPECT_NEAR(plan.weighted_load, 0.5, 0.01);
+  EXPECT_NEAR(plan.network_cost, 2.0, 1e-6);
+}
+
+TEST(Planner, RejectsBadInputs) {
+  const quorum_family ok = {process_set{0}};
+  EXPECT_THROW(plan_optimal(1, {}, ok), std::invalid_argument);
+  EXPECT_THROW(plan_optimal(1, ok, {process_set{}}),
+               std::invalid_argument);
+  EXPECT_THROW(plan_optimal(1, ok, {process_set{3}}),
+               std::invalid_argument);
+  planner_options options;
+  options.read_ratio = 1.5;
+  EXPECT_THROW(plan_optimal(1, ok, ok, options), std::invalid_argument);
+  options = {};
+  options.capacities = {1.0, -2.0};
+  EXPECT_THROW(plan_optimal(2, ok, ok, options), std::invalid_argument);
+}
+
+// ---- the brute-force property over the topology corpus ----
+
+/// All weight vectors of length m with entries i/denominator summing to 1
+/// (compositions of `denominator` into m parts).
+std::vector<std::vector<double>> simplex_grid(std::size_t m,
+                                              int denominator) {
+  std::vector<std::vector<double>> grid;
+  std::vector<int> parts(m, 0);
+  const auto emit = [&] {
+    std::vector<double> w(m);
+    for (std::size_t i = 0; i < m; ++i)
+      w[i] = static_cast<double>(parts[i]) /
+             static_cast<double>(denominator);
+    grid.push_back(std::move(w));
+  };
+  // Odometer over compositions.
+  const std::function<void(std::size_t, int)> rec = [&](std::size_t i,
+                                                        int left) {
+    if (i + 1 == m) {
+      parts[i] = left;
+      emit();
+      return;
+    }
+    for (int take = 0; take <= left; ++take) {
+      parts[i] = take;
+      rec(i + 1, left - take);
+    }
+  };
+  rec(0, denominator);
+  return grid;
+}
+
+/// max_p (1/cap_p) Σ_i w_i [p ∈ family[i]], precomputed per grid point.
+std::vector<std::vector<double>> grid_loads(
+    const quorum_family& family, const std::vector<std::vector<double>>& grid,
+    process_id n) {
+  std::vector<std::vector<double>> loads;
+  loads.reserve(grid.size());
+  for (const std::vector<double>& w : grid) {
+    std::vector<double> load(n, 0.0);
+    for (std::size_t i = 0; i < family.size(); ++i)
+      for (process_id p : family[i]) load[p] += w[i];
+    loads.push_back(std::move(load));
+  }
+  return loads;
+}
+
+TEST(Planner, MatchesBruteForceEnumerationOnCorpus) {
+  constexpr int kDenominator = 8;
+  int solved = 0;
+  for (const scenario_family& family : topology_corpus(12)) {
+    std::mt19937_64 rng(1);
+    const fail_prone_system fps = scenario_system(family.params, rng);
+    const auto witness = find_gqs(fps);
+    if (!witness) continue;
+    const generalized_quorum_system& gqs = witness->system;
+    const process_id n = gqs.system_size();
+    if (gqs.reads.size() + gqs.writes.size() > 8) continue;  // bound kept
+    ++solved;
+
+    planner_options options;
+    options.read_ratio = 0.5;
+    options.capacities = process_capacities(family.params);
+    options.tolerance = 1e-3;
+    const plan_result plan = plan_optimal(gqs, options);
+
+    std::vector<double> inv(n);
+    for (process_id p = 0; p < n; ++p) inv[p] = 1.0 / options.capacities[p];
+    const auto read_grid = simplex_grid(gqs.reads.size(), kDenominator);
+    const auto write_grid = simplex_grid(gqs.writes.size(), kDenominator);
+    const auto read_loads = grid_loads(gqs.reads, read_grid, n);
+    const auto write_loads = grid_loads(gqs.writes, write_grid, n);
+    double enumerated = std::numeric_limits<double>::infinity();
+    for (const auto& rl : read_loads)
+      for (const auto& wl : write_loads) {
+        double worst = 0;
+        for (process_id p = 0; p < n; ++p)
+          worst = std::max(worst, (0.5 * rl[p] + 0.5 * wl[p]) * inv[p]);
+        enumerated = std::min(enumerated, worst);
+      }
+
+    // The enumerated optimum is feasible, so the planner (within its
+    // certified gap) cannot be worse...
+    EXPECT_LE(plan.weighted_load, enumerated + plan.gap + 1e-9)
+        << family.name;
+    // ...and its certified lower bound cannot exceed it.
+    EXPECT_LE(plan.lower_bound, enumerated + 1e-9) << family.name;
+    // The grid is a 1/denominator-discretization, so the enumerated value
+    // can only sit slightly above the true optimum.
+    EXPECT_LE(enumerated, plan.weighted_load + 0.12) << family.name;
+    EXPECT_LE(plan.gap, 0.02) << family.name << " gap " << plan.gap;
+  }
+  // The corpus must actually exercise the property on several systems.
+  EXPECT_GE(solved, 5);
+}
+
+TEST(Planner, FAwarePlansAssignMassOnlyToValidPairs) {
+  // Figure 1 plus every solvable corpus system: each pattern's plan may
+  // put weight only on (W, R) pairs that Definition 2 validates under
+  // that pattern.
+  std::vector<generalized_quorum_system> systems;
+  systems.push_back(make_figure1().gqs);
+  for (const scenario_family& family : topology_corpus(8)) {
+    std::mt19937_64 rng(1);
+    const auto witness = find_gqs(scenario_system(family.params, rng));
+    if (witness) systems.push_back(witness->system);
+  }
+  ASSERT_GE(systems.size(), 3u);
+
+  for (const generalized_quorum_system& gqs : systems) {
+    const std::vector<pattern_plan> plans = plan_all_patterns(gqs);
+    ASSERT_EQ(plans.size(), gqs.fps.size());
+    for (std::size_t k = 0; k < plans.size(); ++k) {
+      const pattern_plan& plan = plans[k];
+      // These systems satisfy Availability, so every pattern has pairs.
+      ASSERT_TRUE(plan.feasible) << "pattern " << k;
+      ASSERT_EQ(plan.pairs.size(), plan.weights.size());
+      double total = 0;
+      for (std::size_t i = 0; i < plan.pairs.size(); ++i) {
+        total += plan.weights[i];
+        if (plan.weights[i] <= 0) continue;
+        EXPECT_TRUE(is_f_available(plan.pairs[i].write_quorum, gqs.fps[k]))
+            << "pattern " << k << " pair " << i;
+        EXPECT_TRUE(is_f_reachable_from(plan.pairs[i].write_quorum,
+                                        plan.pairs[i].read_quorum,
+                                        gqs.fps[k]))
+            << "pattern " << k << " pair " << i;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-6);
+      EXPECT_TRUE(plan.top_pair().has_value());
+      EXPECT_GE(plan.weighted_load, plan.lower_bound - 1e-9);
+    }
+  }
+}
+
+TEST(Planner, InfeasiblePatternReportsNoPairs) {
+  // Example 9's F′ admits no GQS; grafting Figure 1's quorums onto it
+  // leaves f1′ with no valid pair.
+  const auto fig = make_figure1();
+  const generalized_quorum_system broken(make_example9_variant(),
+                                         fig.gqs.reads, fig.gqs.writes);
+  const pattern_plan plan = plan_for_pattern(broken, 0);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_TRUE(plan.pairs.empty());
+}
+
+// ---- availability estimation ----
+
+TEST(Availability, ExactMajorityMatchesClosedForm) {
+  const quorum_family maj = two_subsets_of_three();
+  availability_options options;
+  options.fail_probability = 0.1;
+  const availability_estimate est =
+      estimate_availability(3, maj, maj, nullptr, options);
+  EXPECT_TRUE(est.exact);
+  // P(≥2 of 3 alive) with q = 0.1: 3·0.9²·0.1 + 0.9³ = 0.972.
+  EXPECT_NEAR(est.probability, 0.972, 1e-12);
+}
+
+TEST(Availability, DirectionalRingNeedsAllProcesses) {
+  // Over the directed 3-ring, the write quorum {0,1,2} is strongly
+  // connected only when every process survives — availability drops from
+  // the classical 0.972 to 0.9³.
+  topology_params tp;
+  tp.kind = topology_kind::ring;
+  tp.n = 3;
+  tp.bidirectional = false;
+  const digraph ring = make_topology(tp);
+  const quorum_family whole = {process_set{0, 1, 2}};
+  const quorum_family reads = {process_set{0}, process_set{1},
+                               process_set{2}};
+  availability_options options;
+  options.fail_probability = 0.1;
+  const availability_estimate est =
+      estimate_availability(3, reads, whole, &ring, options);
+  EXPECT_TRUE(est.exact);
+  EXPECT_NEAR(est.probability, 0.9 * 0.9 * 0.9, 1e-12);
+}
+
+TEST(Availability, PerProcessProbabilitiesAndEdgeCases) {
+  const quorum_family single = {process_set{0}};
+  availability_options options;
+  options.fail_probabilities = {0.25, 0.9};
+  const availability_estimate est =
+      estimate_availability(2, single, single, nullptr, options);
+  EXPECT_TRUE(est.exact);
+  EXPECT_NEAR(est.probability, 0.75, 1e-12);  // only process 0 matters
+
+  options.fail_probabilities = {0.25};  // broadcast single entry
+  EXPECT_NEAR(
+      estimate_availability(2, single, single, nullptr, options).probability,
+      0.75, 1e-12);
+
+  options.fail_probabilities = {0.25, 0.5, 0.5};
+  EXPECT_THROW(estimate_availability(2, single, single, nullptr, options),
+               std::invalid_argument);
+}
+
+TEST(Availability, MonteCarloAgreesWithExact) {
+  const quorum_family maj = two_subsets_of_three();
+  availability_options options;
+  options.fail_probability = 0.2;
+  const double exact =
+      estimate_availability(3, maj, maj, nullptr, options).probability;
+
+  options.exact_max_n = 2;  // force the sampling path at n = 3
+  options.samples = 40000;
+  options.seed = 7;
+  const availability_estimate mc =
+      estimate_availability(3, maj, maj, nullptr, options);
+  EXPECT_FALSE(mc.exact);
+  EXPECT_EQ(mc.trials, 40000u);
+  EXPECT_NEAR(mc.probability, exact, 0.02);
+  // Seeded: repeating the estimate reproduces it bit-for-bit.
+  EXPECT_DOUBLE_EQ(estimate_availability(3, maj, maj, nullptr, options)
+                       .probability,
+                   mc.probability);
+}
+
+// ---- the runtime selector ----
+
+TEST(Selector, DeterministicPerOperation) {
+  read_write_strategy s;
+  s.reads = quorum_strategy::uniform(two_subsets_of_three());
+  s.writes = quorum_strategy::uniform(two_subsets_of_three());
+  const quorum_selector a(s, 42), b(s, 42), c(s, 43);
+  bool any_diff_seed_diverged = false;
+  for (std::uint64_t op = 0; op < 200; ++op) {
+    EXPECT_EQ(a.sample_write(0, op), b.sample_write(0, op));
+    EXPECT_EQ(a.sample_read(2, op), b.sample_read(2, op));
+    any_diff_seed_diverged |= a.sample_write(0, op) != c.sample_write(0, op);
+  }
+  EXPECT_TRUE(any_diff_seed_diverged);
+}
+
+TEST(Selector, EmpiricalFrequenciesTrackWeights) {
+  read_write_strategy s;
+  s.reads = quorum_strategy::uniform(two_subsets_of_three());
+  s.writes.quorums = {process_set{0, 1}, process_set{2, 3}};
+  s.writes.weights = {0.25, 0.75};
+  const quorum_selector sel(s, 1);
+  int first = 0;
+  constexpr int kDraws = 20000;
+  for (int op = 0; op < kDraws; ++op)
+    if (sel.sample_write(3, static_cast<std::uint64_t>(op)) ==
+        (process_set{0, 1}))
+      ++first;
+  EXPECT_NEAR(static_cast<double>(first) / kDraws, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace gqs

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace gqs {
@@ -187,6 +188,53 @@ TEST(Corpus, NamesUniqueSizesBoundedAllKindsPresent) {
   EXPECT_LT(small.size(), corpus.size());
   for (const scenario_family& family : small)
     EXPECT_LE(family.params.topology.n, 4u);
+}
+
+TEST(Capacities, ProfilesRealizeExpectedShapes) {
+  scenario_params sp;
+  sp.topology = make_params(topology_kind::star, 5);
+
+  sp.capacities = {capacity_profile::uniform, 1.0, 3.0};
+  EXPECT_EQ(process_capacities(sp), (std::vector<double>{3, 3, 3, 3, 3}));
+
+  sp.capacities = {capacity_profile::hub_heavy, 0.5, 2.0};
+  EXPECT_EQ(process_capacities(sp),
+            (std::vector<double>{2, 0.5, 0.5, 0.5, 0.5}));
+
+  sp.capacities = {capacity_profile::linear, 1.0, 3.0};
+  const std::vector<double> ramp = process_capacities(sp);
+  ASSERT_EQ(ramp.size(), 5u);
+  EXPECT_DOUBLE_EQ(ramp.front(), 1.0);
+  EXPECT_DOUBLE_EQ(ramp.back(), 3.0);
+  for (std::size_t p = 1; p < ramp.size(); ++p)
+    EXPECT_GT(ramp[p], ramp[p - 1]);
+
+  sp.capacities = {capacity_profile::linear, 0.0, 3.0};
+  EXPECT_THROW(process_capacities(sp), std::invalid_argument);
+}
+
+TEST(Capacities, CorpusAttachesHeterogeneousVectors) {
+  bool heterogeneous_seen = false;
+  for (const scenario_family& family : topology_corpus(12)) {
+    const std::vector<double> caps = process_capacities(family.params);
+    ASSERT_EQ(caps.size(), family.params.topology.n) << family.name;
+    for (double c : caps) EXPECT_GT(c, 0.0) << family.name;
+    // Deterministic: realizing twice gives the same vector.
+    EXPECT_EQ(caps, process_capacities(family.params)) << family.name;
+    double lo = caps.front(), hi = caps.front();
+    for (double c : caps) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    if (hi > lo) heterogeneous_seen = true;
+    // The topologies the corpus marks heterogeneous really are.
+    if (family.params.topology.kind == topology_kind::star ||
+        family.params.topology.kind == topology_kind::clusters ||
+        family.params.topology.kind == topology_kind::geometric) {
+      EXPECT_GT(hi, lo) << family.name;
+    }
+  }
+  EXPECT_TRUE(heterogeneous_seen);
 }
 
 TEST(Corpus, EveryFamilyProducesValidSystems) {
