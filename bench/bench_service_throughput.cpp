@@ -18,12 +18,18 @@
 //             and a 4-deep per-process pipeline.
 //
 // Cross-checks before any timing is reported: both engines drive every
-// key to the same final (value, version) at every process, and every
-// per-key history of both engines passes the white-box Appendix-B
-// linearizability checker. The throughput grid fans across the PR-2
-// experiment runner; rerunning the service grid with a different thread
-// count must reproduce bit-identical client-visible results (final-state
-// digests, latencies, completion counts).
+// key to the same final (value, version) at every process, and the full
+// keyed history of both engines passes the scalable dependency-graph
+// checker (lincheck/history_checker) with identical results from the
+// 1- and 2-thread per-key fan-outs. A separate million-op validation
+// pass (GQS_BENCH_BIG_OPS ops per process, default 250k x 4 processes)
+// runs the streaming checker live off the workload-driver hooks, batch-
+// checks the same run, and cross-checks sampled closed sub-histories
+// against Wing–Gong (<=64 ops) and the dense Appendix-B replay (<=10^3
+// ops). The throughput grid fans across the PR-2 experiment runner;
+// rerunning the service grid with a different thread count must
+// reproduce bit-identical client-visible results (final-state digests,
+// latencies, completion counts).
 //
 // Acceptance bar: service ops/sec ≥ 2× replica ops/sec (gated in CI via
 // bench/baselines.json). The record also carries per-key load (hottest
@@ -31,13 +37,17 @@
 // and p50/p95/p99 operation latencies.
 #include "bench_main.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 
 #include "core/factories.hpp"
 #include "lincheck/dependency_graph.hpp"
+#include "lincheck/history_checker.hpp"
+#include "lincheck/wing_gong.hpp"
 #include "register/atomic_register.hpp"
 #include "register/keyed_register.hpp"
 #include "sim/runner.hpp"
@@ -144,14 +154,20 @@ pass_result finish_pass(Driver& driver, simulation& sim,
     r.finals.emplace_back(s.value, s.version);
   }
   if (check_histories) {
-    for (service_key k = 0; k < kKeys && r.per_key_linearizable; ++k) {
-      const register_history h = driver.history_of(k);
-      if (h.empty()) continue;
-      const auto lin = check_dependency_graph(h);
-      if (!lin.linearizable) {
-        r.per_key_linearizable = false;
-        r.lin_reason = "key " + std::to_string(k) + ": " + lin.reason;
-      }
+    // Full keyed history through the scalable checker, serial and
+    // experiment_runner fan-out — the two must agree bit-for-bit.
+    keyed_check_options serial, pooled;
+    serial.threads = 1;
+    pooled.threads = 2;
+    const auto l1 = check_keyed_history(driver.history(), kKeys, serial);
+    const auto l2 = check_keyed_history(driver.history(), kKeys, pooled);
+    if (!l1.linearizable) {
+      r.per_key_linearizable = false;
+      r.lin_reason = l1.reason;
+    } else if (l1.linearizable != l2.linearizable ||
+               l1.reason != l2.reason || l1.per_key_ops != l2.per_key_ops) {
+      r.per_key_linearizable = false;
+      r.lin_reason = "keyed checker fan-out differs across thread counts";
     }
   }
   return r;
@@ -219,6 +235,141 @@ pass_result replica_pass(std::uint64_t seed, bool check_histories) {
       }
     }
   return r;
+}
+
+// ---- million-op validation pass ----
+//
+// One long service run whose full history goes through every mode of the
+// scalable checker: live streaming off the driver hooks during the run,
+// batch keyed fan-out afterwards (1- and 2-thread pools identical), and
+// sampled closed sub-histories cross-checked against the exponential
+// Wing–Gong baseline (<=64 ops) and the dense Appendix-B replay
+// (<=10^3 ops). Sizeable by GQS_BENCH_BIG_OPS (ops per process).
+
+struct big_result {
+  bool ok = false;
+  std::string why;
+  std::uint64_t completed = 0;
+  std::size_t peak_window = 0;
+  double check_s = 0;         // best keyed batch check time
+  double stream_s = 0;        // wall time of the run the live checker rode
+  std::uint64_t wg_samples = 0;
+  std::uint64_t dense_samples = 0;
+};
+
+big_result big_validation_pass(std::uint64_t ops_per_process) {
+  big_result out;
+  const auto fig = make_figure1();
+  simulation sim(kN, network_options{}, fault_plan::none(kN), 99);
+  std::vector<keyed_register_node*> nodes;
+  for (process_id p = 0; p < kN; ++p) {
+    auto comp = std::make_unique<keyed_register_node>(
+        kKeys, quorum_config::of(fig.gqs), service_options{});
+    nodes.push_back(comp.get());
+    sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+  }
+  sim.start();
+  sim.run_until(0);
+  keyed_node_adapter<keyed_register_node> adapter{nodes};
+  client_workload_options opts = workload(4);
+  opts.ops_per_process = ops_per_process;
+  workload_driver<keyed_node_adapter<keyed_register_node>> driver(
+      sim, std::move(adapter), opts);
+
+  streaming_checker live(kKeys);
+  driver.on_issue = [&](const keyed_register_op& rec, std::size_t) {
+    live.on_invoke(rec);
+  };
+  driver.on_complete_op = [&](const keyed_register_op& rec,
+                              std::size_t idx) {
+    live.on_complete(rec, idx);
+    out.peak_window = std::max(out.peak_window, live.active_ops());
+  };
+
+  driver.launch();
+  const auto begin = std::chrono::steady_clock::now();
+  const sim_time horizon =
+      kHorizon * static_cast<sim_time>(
+                     1 + ops_per_process / kOpsPerProcess);
+  if (!sim.run_until_condition([&] { return driver.done(); },
+                               sim.now() + horizon)) {
+    out.why = "big validation run did not complete";
+    return out;
+  }
+  out.stream_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  out.completed = driver.completed();
+  const auto& streamed = live.finish();
+  if (!streamed.linearizable) {
+    out.why = "streaming checker flagged the service run: " +
+              streamed.reason;
+    return out;
+  }
+  if (live.retired_ops() != out.completed || live.active_ops() != 0) {
+    out.why = "streaming checker failed to retire the drained run";
+    return out;
+  }
+
+  // Batch keyed check of the same history, both pool widths.
+  keyed_check_options serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 2;
+  const auto c0 = std::chrono::steady_clock::now();
+  const auto l1 = check_keyed_history(driver.history(), kKeys, serial);
+  const auto c1 = std::chrono::steady_clock::now();
+  const auto l2 = check_keyed_history(driver.history(), kKeys, pooled);
+  const auto c2 = std::chrono::steady_clock::now();
+  out.check_s = std::min(std::chrono::duration<double>(c1 - c0).count(),
+                         std::chrono::duration<double>(c2 - c1).count());
+  if (!l1.linearizable) {
+    out.why = "batch check flagged the service run: " + l1.reason;
+    return out;
+  }
+  if (l1.linearizable != l2.linearizable || l1.reason != l2.reason ||
+      l1.per_key_ops != l2.per_key_ops) {
+    out.why = "keyed checker fan-out differs across thread counts";
+    return out;
+  }
+
+  // Sampled closed sub-histories: Wing–Gong and the dense replay must
+  // agree with the scalable checker's SAT verdict. Hot keys carry the
+  // long histories worth sampling.
+  std::vector<service_key> hot;
+  for (service_key k = 0; k < kKeys; ++k)
+    if (l1.per_key_ops[k] >= 64) hot.push_back(k);
+  std::sort(hot.begin(), hot.end(), [&](service_key a, service_key b) {
+    return l1.per_key_ops[a] > l1.per_key_ops[b];
+  });
+  if (hot.size() > 8) hot.resize(8);
+  for (service_key k : hot) {
+    const register_history h = driver.history_of(k);
+    for (std::size_t off : {std::size_t{0}, h.size() / 2,
+                            h.size() - std::min<std::size_t>(h.size(), 32)}) {
+      const register_history wg_sub = closed_sample(h, off, 24);
+      if (wg_sub.size() <= 64) {
+        if (!check_linearizable(wg_sub).linearizable) {
+          out.why = "Wing–Gong rejected a closed sample of key " +
+                    std::to_string(k);
+          return out;
+        }
+        ++out.wg_samples;
+      }
+      const register_history dense_sub = closed_sample(h, off, 1000);
+      if (!check_dependency_graph(dense_sub).linearizable) {
+        out.why = "dense replay rejected a closed sample of key " +
+                  std::to_string(k);
+        return out;
+      }
+      ++out.dense_samples;
+    }
+  }
+  if (out.wg_samples == 0 || out.dense_samples == 0) {
+    out.why = "no sampled sub-histories — workload too small?";
+    return out;
+  }
+  out.ok = true;
+  return out;
 }
 
 std::uint64_t finals_digest(const pass_result& r) {
@@ -310,6 +461,25 @@ int bench_entry() {
             << " service cells bit-identical across 1- and 2-thread "
                "runners\n";
 
+  // ---- million-op validation pass ----
+  std::uint64_t big_per_proc = 250000;
+  if (const char* env = std::getenv("GQS_BENCH_BIG_OPS"))
+    big_per_proc = std::strtoull(env, nullptr, 10);
+  const big_result big = big_validation_pass(big_per_proc);
+  if (!big.ok) {
+    std::cerr << "million-op validation failed: " << big.why << "\n";
+    return 1;
+  }
+  const double big_check_rate =
+      big.check_s > 0 ? static_cast<double>(big.completed) / big.check_s : 0;
+  std::cout << "validation at scale: " << fmt_count(big.completed)
+            << " service ops checked live (peak window "
+            << fmt_count(big.peak_window) << " ops) and in batch at "
+            << fmt_count(static_cast<std::uint64_t>(big_check_rate))
+            << " ops/sec; " << big.wg_samples
+            << " closed samples agreed with Wing-Gong, "
+            << big.dense_samples << " with the dense replay\n";
+
   // ---- throughput (best-of passes, interleaved) ----
   double svc_best = 0, rep_best = 0;
   std::uint64_t svc_events = 0, rep_events = 0, gossip_entries = 0;
@@ -382,6 +552,12 @@ int bench_entry() {
   gqs_bench::record("workload_keys", static_cast<std::uint64_t>(kKeys));
   gqs_bench::record("workload_ops", total_ops);
   gqs_bench::record("service_gossip_entries", gossip_entries);
+  gqs_bench::record("validated_ops", big.completed);
+  gqs_bench::record("validated_check_ops_per_sec", big_check_rate);
+  gqs_bench::record("validated_peak_window",
+                    static_cast<std::uint64_t>(big.peak_window));
+  gqs_bench::record("validated_wg_samples", big.wg_samples);
+  gqs_bench::record("validated_dense_samples", big.dense_samples);
 
   return speedup >= 2.0 ? 0 : 1;
 }

@@ -17,10 +17,15 @@
 //
 // Cross-checks before any measurement is reported: both modes complete
 // the same operations, drive every key to the same freshest final
-// (value, version), and every per-key history passes the white-box
-// Appendix-B linearizability checker; rerunning the targeted grid under
-// a different experiment-runner thread count must reproduce bit-identical
-// client-visible results (deterministic per-op sampling).
+// (value, version), and the full keyed history of both modes passes the
+// scalable dependency-graph checker (lincheck/history_checker) with
+// identical 1- and 2-thread fan-out results; rerunning the targeted grid
+// under a different experiment-runner thread count must reproduce
+// bit-identical client-visible results (deterministic per-op sampling).
+// A raised validation pass (GQS_BENCH_BIG_OPS ops per process, default
+// 125k x 8 processes = 10^6 ops) reruns the targeted mode with the
+// streaming checker live off the workload-driver hooks and batch-checks
+// the full million-op history afterwards.
 //
 // Acceptance bar: messages/op (broadcast) ≥ 2× messages/op (targeted) —
 // gated in CI via bench/baselines.json (key `message_reduction`). The
@@ -29,12 +34,14 @@
 // per-process load, closing the planner → runtime loop.
 #include "bench_main.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 
 #include "core/factories.hpp"
-#include "lincheck/dependency_graph.hpp"
+#include "lincheck/history_checker.hpp"
 #include "register/keyed_register.hpp"
 #include "sim/runner.hpp"
 #include "sim/transport.hpp"
@@ -143,17 +150,97 @@ pass_result run_pass(std::uint64_t seed, selector_ptr selector,
     r.finals.emplace_back(freshest.value, freshest.version);
   }
   if (check_histories) {
-    for (service_key k = 0; k < kKeys && r.per_key_linearizable; ++k) {
-      const register_history h = driver.history_of(k);
-      if (h.empty()) continue;
-      const auto lin = check_dependency_graph(h);
-      if (!lin.linearizable) {
-        r.per_key_linearizable = false;
-        r.why = "key " + std::to_string(k) + ": " + lin.reason;
-      }
+    // Full keyed history through the scalable checker, serial and
+    // experiment_runner fan-out — the two must agree bit-for-bit.
+    keyed_check_options serial, pooled;
+    serial.threads = 1;
+    pooled.threads = 2;
+    const auto l1 = check_keyed_history(driver.history(), kKeys, serial);
+    const auto l2 = check_keyed_history(driver.history(), kKeys, pooled);
+    if (!l1.linearizable) {
+      r.per_key_linearizable = false;
+      r.why = l1.reason;
+    } else if (l1.linearizable != l2.linearizable ||
+               l1.reason != l2.reason || l1.per_key_ops != l2.per_key_ops) {
+      r.per_key_linearizable = false;
+      r.why = "keyed checker fan-out differs across thread counts";
     }
   }
   return r;
+}
+
+/// The raised validation pass: the targeted mode at GQS_BENCH_BIG_OPS
+/// ops per process (default 125k x 8 = 10^6 total), with the streaming
+/// checker live off the driver hooks during the run and the batch keyed
+/// fan-out over the full history afterwards.
+bool big_targeted_validation(const plan_result& plan,
+                             std::uint64_t ops_per_process,
+                             std::uint64_t& checked_ops,
+                             std::size_t& peak_window, std::string& why) {
+  const auto system = threshold_quorum_system(kN, 2);
+  service_options options;
+  options.selector =
+      std::make_shared<const quorum_selector>(plan.strategy, kSelectorSeed);
+  simulation sim(kN, network_options{}, fault_plan::none(kN), 99);
+  std::vector<keyed_register_node*> nodes;
+  for (process_id p = 0; p < kN; ++p) {
+    auto comp = std::make_unique<keyed_register_node>(
+        kKeys, quorum_config::of(system), options);
+    nodes.push_back(comp.get());
+    sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+  }
+  sim.start();
+  sim.run_until(0);
+  keyed_node_adapter<keyed_register_node> adapter{nodes};
+  client_workload_options opts = workload();
+  opts.ops_per_process = ops_per_process;
+  workload_driver<keyed_node_adapter<keyed_register_node>> driver(
+      sim, std::move(adapter), opts);
+
+  streaming_checker live(kKeys);
+  driver.on_issue = [&](const keyed_register_op& rec, std::size_t) {
+    live.on_invoke(rec);
+  };
+  driver.on_complete_op = [&](const keyed_register_op& rec,
+                              std::size_t idx) {
+    live.on_complete(rec, idx);
+    peak_window = std::max(peak_window, live.active_ops());
+  };
+
+  driver.launch();
+  const sim_time horizon =
+      kHorizon *
+      static_cast<sim_time>(1 + ops_per_process / kOpsPerProcess);
+  if (!sim.run_until_condition([&] { return driver.done(); },
+                               sim.now() + horizon)) {
+    why = "raised validation run did not complete";
+    return false;
+  }
+  const auto& streamed = live.finish();
+  if (!streamed.linearizable) {
+    why = "streaming checker flagged the targeted run: " + streamed.reason;
+    return false;
+  }
+  if (live.retired_ops() != driver.completed() || live.active_ops() != 0) {
+    why = "streaming checker failed to retire the drained run";
+    return false;
+  }
+  keyed_check_options serial, pooled;
+  serial.threads = 1;
+  pooled.threads = 2;
+  const auto l1 = check_keyed_history(driver.history(), kKeys, serial);
+  const auto l2 = check_keyed_history(driver.history(), kKeys, pooled);
+  if (!l1.linearizable) {
+    why = "batch check flagged the targeted run: " + l1.reason;
+    return false;
+  }
+  if (l1.linearizable != l2.linearizable || l1.reason != l2.reason ||
+      l1.per_key_ops != l2.per_key_ops) {
+    why = "keyed checker fan-out differs across thread counts";
+    return false;
+  }
+  checked_ops = driver.completed();
+  return true;
 }
 
 selector_ptr bench_selector(const plan_result& plan) {
@@ -259,6 +346,22 @@ int bench_entry() {
             << " targeted cells bit-identical across 1- and 2-thread "
                "runners\n";
 
+  // ---- raised validation pass (streaming + batch over 10^6 ops) ----
+  std::uint64_t big_per_proc = 125000;
+  if (const char* env = std::getenv("GQS_BENCH_BIG_OPS"))
+    big_per_proc = std::strtoull(env, nullptr, 10);
+  std::uint64_t validated_ops = 0;
+  std::size_t validated_peak = 0;
+  std::string big_why;
+  if (!big_targeted_validation(plan, big_per_proc, validated_ops,
+                               validated_peak, big_why)) {
+    std::cerr << "raised validation failed: " << big_why << "\n";
+    return 1;
+  }
+  std::cout << "validation at scale: " << fmt_count(validated_ops)
+            << " targeted ops checked live (peak window "
+            << fmt_count(validated_peak) << " ops) and in batch\n";
+
   // ---- messages/op and throughput (best-of passes, interleaved) ----
   pass_result best_bc, best_tg;
   for (int rep = 0; rep < kReps; ++rep) {
@@ -349,6 +452,9 @@ int bench_entry() {
   gqs_bench::record("latency_max_us", tg_lat.max);
   gqs_bench::record("workload_keys", static_cast<std::uint64_t>(kKeys));
   gqs_bench::record("workload_ops", best_tg.completed);
+  gqs_bench::record("validated_ops", validated_ops);
+  gqs_bench::record("validated_peak_window",
+                    static_cast<std::uint64_t>(validated_peak));
 
   return reduction >= 2.0 ? 0 : 1;
 }

@@ -7,42 +7,71 @@ namespace gqs {
 
 namespace {
 
-/// DFS cycle detection over an adjacency-list graph.
-bool has_cycle(const std::vector<std::vector<int>>& adj) {
+struct typed_edge {
+  int to;
+  dep_edge kind;
+};
+
+/// DFS cycle detection; on a cycle returns its edges (op indices into the
+/// completed-ops list), empty otherwise.
+std::vector<cycle_edge> find_cycle(
+    const std::vector<std::vector<typed_edge>>& adj) {
   const int n = static_cast<int>(adj.size());
   enum class mark { white, gray, black };
   std::vector<mark> color(n, mark::white);
-  std::vector<std::pair<int, std::size_t>> stack;
+  // (node, next edge index, kind of the edge that reached node)
+  struct frame {
+    int v;
+    std::size_t next;
+    dep_edge in_kind;
+  };
+  std::vector<frame> stack;
   for (int root = 0; root < n; ++root) {
     if (color[root] != mark::white) continue;
     color[root] = mark::gray;
-    stack.emplace_back(root, 0);
+    stack.push_back({root, 0, dep_edge::rt});
     while (!stack.empty()) {
-      auto& [v, next] = stack.back();
-      if (next < adj[v].size()) {
-        const int w = adj[v][next++];
-        if (color[w] == mark::gray) return true;
-        if (color[w] == mark::white) {
-          color[w] = mark::gray;
-          stack.emplace_back(w, 0);
+      frame& f = stack.back();
+      if (f.next < adj[f.v].size()) {
+        const typed_edge e = adj[f.v][f.next++];
+        if (color[e.to] == mark::gray) {
+          // Back edge: the cycle is e.to … f.v on the stack, closed by e.
+          std::vector<cycle_edge> cycle;
+          std::size_t at = stack.size();
+          while (stack[at - 1].v != e.to) --at;
+          for (; at < stack.size(); ++at)
+            cycle.push_back({static_cast<std::uint64_t>(stack[at - 1].v),
+                             static_cast<std::uint64_t>(stack[at].v),
+                             stack[at].in_kind});
+          cycle.push_back({static_cast<std::uint64_t>(f.v),
+                           static_cast<std::uint64_t>(e.to), e.kind});
+          return cycle;
+        }
+        if (color[e.to] == mark::white) {
+          color[e.to] = mark::gray;
+          stack.push_back({e.to, 0, e.kind});
         }
       } else {
-        color[v] = mark::black;
+        color[f.v] = mark::black;
         stack.pop_back();
       }
     }
   }
-  return false;
+  return {};
 }
 
 }  // namespace
 
 lincheck_result check_dependency_graph(const register_history& history,
                                        reg_value initial) {
-  // Completed operations only.
+  // Completed operations only (orig maps back to history indices).
   std::vector<const register_op*> ops;
-  for (const register_op& op : history)
-    if (op.complete()) ops.push_back(&op);
+  std::vector<std::size_t> orig;
+  for (std::size_t i = 0; i < history.size(); ++i)
+    if (history[i].complete()) {
+      ops.push_back(&history[i]);
+      orig.push_back(i);
+    }
   const int n = static_cast<int>(ops.size());
 
   const reg_version initial_version{};  // (0, 0)
@@ -85,30 +114,45 @@ lincheck_result check_dependency_graph(const register_history& history,
   }
 
   // ---- build rt ∪ wr ∪ ww ∪ rw ----
-  std::vector<std::vector<int>> adj(n);
+  std::vector<std::vector<typed_edge>> adj(n);
   for (int i = 0; i < n; ++i)
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       const register_op& a = *ops[i];
       const register_op& b = *ops[j];
-      bool edge = a.precedes(b);  // rt
-      if (!edge && a.kind == reg_op_kind::write &&
-          b.kind == reg_op_kind::read)
-        edge = a.version == b.version;  // wr
-      if (!edge && a.kind == reg_op_kind::write &&
-          b.kind == reg_op_kind::write)
-        edge = a.version < b.version;  // ww
-      if (!edge && a.kind == reg_op_kind::read &&
-          b.kind == reg_op_kind::write)
-        edge = a.version < b.version;  // rw (covers the no-wr case, where
-                                       // τ(r) = (0,0) < every write version)
-      if (edge) adj[i].push_back(j);
+      if (a.precedes(b)) {
+        adj[i].push_back({j, dep_edge::rt});
+      } else if (a.kind == reg_op_kind::write &&
+                 b.kind == reg_op_kind::read && a.version == b.version) {
+        adj[i].push_back({j, dep_edge::wr});
+      } else if (a.kind == reg_op_kind::write &&
+                 b.kind == reg_op_kind::write && a.version < b.version) {
+        adj[i].push_back({j, dep_edge::ww});
+      } else if (a.kind == reg_op_kind::read &&
+                 b.kind == reg_op_kind::write && a.version < b.version) {
+        // rw (covers the no-wr case, where τ(r) = (0,0) < every version)
+        adj[i].push_back({j, dep_edge::rw});
+      }
     }
 
-  if (has_cycle(adj))
-    return lincheck_result::bad(
-        "dependency graph rt ∪ wr ∪ ww ∪ rw contains a cycle");
-  return lincheck_result::good();
+  std::vector<cycle_edge> cycle = find_cycle(adj);
+  if (!cycle.empty()) {
+    for (cycle_edge& e : cycle) {  // remap to history indices
+      e.from = orig[e.from];
+      e.to = orig[e.to];
+    }
+    lincheck_result r = lincheck_result::bad(
+        "dependency graph rt ∪ wr ∪ ww ∪ rw contains a cycle: " +
+        describe_cycle(cycle, [&](std::uint64_t id) {
+          return &history[id];
+        }));
+    r.cycle = std::move(cycle);
+    r.checked_ops = static_cast<std::uint64_t>(n);
+    return r;
+  }
+  lincheck_result good = lincheck_result::good();
+  good.checked_ops = static_cast<std::uint64_t>(n);
+  return good;
 }
 
 }  // namespace gqs

@@ -1,0 +1,105 @@
+// history_gen.hpp — deterministic synthetic register histories for the
+// checker benches and test harnesses.
+//
+// Generates a valid (linearizable by construction) stamped single-key
+// history with tunable size, process count, concurrency window and read
+// ratio: operations are emitted in linearization order, each linearizing
+// at its own invocation, and responses are delayed by up to `overlap`
+// subsequent invocations — so intervals genuinely overlap while the
+// sequential witness (the emission order) survives. Versions are unique
+// and increase along the linearization, satisfying Proposition 3.
+//
+// Uses splitmix64 instead of <random> distributions so histories are
+// bit-identical across standard libraries.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "lincheck/register_history.hpp"
+
+namespace gqs {
+
+struct synthetic_history_options {
+  std::size_t ops = 1000;
+  unsigned procs = 4;
+  /// Maximum number of operations in flight at once (≥ 1). Higher values
+  /// stress the checkers' handling of concurrent intervals.
+  unsigned overlap = 4;
+  /// Permille of reads (0–1000).
+  unsigned read_permille = 600;
+  reg_value initial = 0;
+  /// First causal stamp to assign (stamps are consecutive from here).
+  std::uint64_t stamp_base = 1;
+};
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline register_history make_synthetic_history(
+    std::uint64_t seed, const synthetic_history_options& options = {}) {
+  std::uint64_t rng = seed * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
+  const unsigned procs = std::max(1u, options.procs);
+  const unsigned overlap = std::max(1u, std::min(options.overlap, procs));
+
+  register_history h;
+  h.reserve(options.ops);
+  std::uint64_t stamp = options.stamp_base;
+  const auto take = [&stamp] { return stamp++; };
+
+  // Sequential register state at the linearization point.
+  reg_value value = options.initial;
+  reg_version version{};  // (0, 0)
+  std::uint64_t seq = 0;
+
+  std::deque<std::size_t> pending;        // history indices, oldest first
+  std::vector<bool> busy(procs, false);   // per-process concurrency guard
+
+  const auto retire_oldest = [&] {
+    const std::size_t idx = pending.front();
+    pending.pop_front();
+    h[idx].returned_stamp = take();
+    h[idx].returned_at = static_cast<sim_time>(h[idx].returned_stamp);
+    busy[h[idx].proc] = false;
+  };
+
+  for (std::size_t i = 0; i < options.ops; ++i) {
+    // Free a process if all are busy (and respect the overlap window).
+    while (pending.size() >= overlap) retire_oldest();
+    unsigned p = static_cast<unsigned>(splitmix64(rng) % procs);
+    while (busy[p]) p = (p + 1) % procs;
+    busy[p] = true;
+
+    register_op op;
+    op.proc = p;
+    op.invoked_stamp = take();
+    op.invoked_at = static_cast<sim_time>(op.invoked_stamp);
+    const bool is_read = splitmix64(rng) % 1000 < options.read_permille;
+    if (is_read) {
+      op.kind = reg_op_kind::read;
+      op.value = value;
+      op.version = version;
+    } else {
+      op.kind = reg_op_kind::write;
+      op.value = static_cast<reg_value>(1000 + i);
+      op.version = reg_version{++seq, p};
+      value = op.value;
+      version = op.version;
+    }
+    h.push_back(op);
+    pending.push_back(h.size() - 1);
+    // Randomly retire some of the oldest in-flight ops so intervals
+    // overlap by a varying amount.
+    while (!pending.empty() && splitmix64(rng) % 3 == 0) retire_oldest();
+  }
+  while (!pending.empty()) retire_oldest();
+  return h;
+}
+
+}  // namespace gqs

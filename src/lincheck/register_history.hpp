@@ -2,6 +2,8 @@
 // register operations, the input to the linearizability checkers.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,15 +50,56 @@ struct register_op {
 
 using register_history = std::vector<register_op>;
 
+/// Edge types of the Appendix-B dependency graph: real-time precedence,
+/// write→read of the same version (reads-from), write→write in version
+/// order, and read→write anti-dependency (τ(r) < τ(w)).
+enum class dep_edge : std::uint8_t { rt, wr, ww, rw };
+
+const char* to_string(dep_edge kind);
+
+/// One edge of a counterexample cycle. `from`/`to` are operation ids: the
+/// index into the checked history for the batch checkers, the caller-chosen
+/// completion id for the streaming checker.
+struct cycle_edge {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  dep_edge kind = dep_edge::rt;
+};
+
+/// Renders a cycle as "#i op —kind→ #j op …"; `op_of` maps an op id to the
+/// operation (may return nullptr for ops no longer available).
+std::string describe_cycle(
+    const std::vector<cycle_edge>& cycle,
+    const std::function<const register_op*(std::uint64_t)>& op_of);
+
 /// Result of a history check.
 struct lincheck_result {
   bool linearizable = true;
   std::string reason;
+  /// Counterexample dependency cycle on failure. Empty for sanity
+  /// violations (those name the offending operation in `reason`) and for
+  /// checkers that do not extract cycles.
+  std::vector<cycle_edge> cycle;
+  /// Completed operations the checker examined.
+  std::uint64_t checked_ops = 0;
+  /// Keyed checkers: completed operations per key (empty otherwise).
+  std::vector<std::uint64_t> per_key_ops;
 
   explicit operator bool() const noexcept { return linearizable; }
+
+  /// True if operation id `id` appears on the counterexample cycle.
+  bool cycle_contains(std::uint64_t id) const {
+    for (const cycle_edge& e : cycle)
+      if (e.from == id || e.to == id) return true;
+    return false;
+  }
+
   static lincheck_result good() { return {}; }
   static lincheck_result bad(std::string why) {
-    return {false, std::move(why)};
+    lincheck_result r;
+    r.linearizable = false;
+    r.reason = std::move(why);
+    return r;
   }
 };
 

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <vector>
 
@@ -166,6 +167,15 @@ class workload_driver {
     return out;
   }
 
+  /// Observation hooks for online checking (e.g. feeding a
+  /// streaming_checker while the run is live): on_issue fires right after
+  /// an operation is recorded (invocation stamp assigned), on_complete_op
+  /// right after its response lands — in completion order, before the
+  /// completion triggers any further issues. The index is the operation's
+  /// position in history().
+  std::function<void(const keyed_register_op&, std::size_t)> on_issue;
+  std::function<void(const keyed_register_op&, std::size_t)> on_complete_op;
+
   /// Operations issued per client process — the issue-side half of the
   /// load report. The serve-side half (which processes each operation's
   /// sampled quorum actually touched) comes from the engine:
@@ -263,6 +273,7 @@ class workload_driver {
     rec.op.invoked_at = sim_->now();
     rec.op.invoked_stamp = sim_->take_stamp();
     history_.push_back(rec);
+    if (on_issue) on_issue(history_[rec_idx], rec_idx);
     if (op.is_read) {
       adapter_.read(p, op.key,
                     [this, p, rec_idx](reg_value v, reg_version observed) {
@@ -284,6 +295,7 @@ class workload_driver {
     rec.op.returned_at = sim_->now();
     rec.op.returned_stamp = sim_->take_stamp();
     ++completed_;
+    if (on_complete_op) on_complete_op(rec, rec_idx);
     client& c = clients_[p];
     c.key_busy[rec.key] = 0;
     --c.outstanding;

@@ -1,0 +1,183 @@
+// history_mutations.hpp — shared corpus of history-corruption operators
+// for mutation-testing the linearizability checkers.
+//
+// Each mutator takes a valid (linearizable) single-key history and
+// corrupts it in a targeted way, returning the indices of the ops it
+// touched (empty when the history cannot host the mutation — callers
+// skip). Mutators marked expect_cycle guarantee that the corrupted
+// dependency graph is acyclic *except* through a mutated op, so any
+// counterexample cycle a checker reports must contain one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lincheck/history_gen.hpp"
+#include "lincheck/register_history.hpp"
+
+namespace gqs {
+
+struct history_mutator {
+  const char* name;
+  /// True when the mutation manifests as a dependency cycle (rather than
+  /// a Proposition-3 sanity violation) and the reported counterexample
+  /// must contain a mutated op.
+  bool expect_cycle;
+  std::function<std::vector<std::size_t>(register_history&, std::uint64_t)>
+      apply;
+};
+
+namespace mutation_detail {
+
+inline std::vector<std::size_t> completed_of(const register_history& h,
+                                             reg_op_kind kind) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < h.size(); ++i)
+    if (h[i].complete() && h[i].kind == kind) out.push_back(i);
+  return out;
+}
+
+/// Multiplies every stamp/time by 10, preserving all strict orderings and
+/// ties while opening gaps for retimed intervals.
+inline void widen(register_history& h) {
+  for (register_op& op : h) {
+    op.invoked_at *= 10;
+    if (op.returned_at) *op.returned_at *= 10;
+    op.invoked_stamp *= 10;
+    op.returned_stamp *= 10;
+  }
+}
+
+}  // namespace mutation_detail
+
+/// Stale read: a read rewound to the oldest write's version while some
+/// newer write finished before the read was invoked — the classic
+/// rw ∪ rt cycle.
+inline std::vector<std::size_t> mutate_stale_read(register_history& h,
+                                                  std::uint64_t seed) {
+  using namespace mutation_detail;
+  const auto writes = completed_of(h, reg_op_kind::write);
+  if (writes.size() < 2) return {};
+  std::size_t oldest = writes.front();
+  for (const std::size_t w : writes)
+    if (h[w].version < h[oldest].version) oldest = w;
+  std::vector<std::size_t> candidates;
+  for (const std::size_t r : completed_of(h, reg_op_kind::read)) {
+    if (h[r].version == h[oldest].version) continue;
+    for (const std::size_t w : writes)
+      if (h[oldest].version < h[w].version && h[w].precedes(h[r])) {
+        candidates.push_back(r);
+        break;
+      }
+  }
+  if (candidates.empty()) return {};
+  const std::size_t r = candidates[seed % candidates.size()];
+  h[r].version = h[oldest].version;
+  h[r].value = h[oldest].value;
+  return {r};
+}
+
+/// Lost write: a write whose version some read observes is made to never
+/// return — the read then observes a version no completed write installed.
+inline std::vector<std::size_t> mutate_lost_write(register_history& h,
+                                                  std::uint64_t seed) {
+  using namespace mutation_detail;
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;  // (w, r)
+  for (const std::size_t r : completed_of(h, reg_op_kind::read)) {
+    if (h[r].version == reg_version{}) continue;
+    for (const std::size_t w : completed_of(h, reg_op_kind::write))
+      if (h[w].version == h[r].version) candidates.push_back({w, r});
+  }
+  if (candidates.empty()) return {};
+  const auto [w, r] = candidates[seed % candidates.size()];
+  h[w].returned_at.reset();
+  h[w].returned_stamp = 0;
+  return {r};
+}
+
+/// Version swap: two real-time-ordered writes exchange version AND value
+/// (so every read stays value-consistent) — a pure ww-vs-rt inversion.
+inline std::vector<std::size_t> mutate_version_swap(register_history& h,
+                                                    std::uint64_t seed) {
+  using namespace mutation_detail;
+  const auto writes = completed_of(h, reg_op_kind::write);
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (const std::size_t a : writes)
+    for (const std::size_t b : writes)
+      if (h[a].version < h[b].version && h[a].precedes(h[b]))
+        candidates.push_back({a, b});
+  if (candidates.empty()) return {};
+  const auto [a, b] = candidates[seed % candidates.size()];
+  std::swap(h[a].version, h[b].version);
+  std::swap(h[a].value, h[b].value);
+  return {a, b};
+}
+
+/// Real-time inversion: a later-versioned write's interval is retimed to
+/// finish strictly before an earlier-versioned write is invoked. The
+/// pre-mutation graph minus the moved op is acyclic, so every reported
+/// cycle must pass through it.
+inline std::vector<std::size_t> mutate_real_time_inversion(
+    register_history& h, std::uint64_t seed) {
+  using namespace mutation_detail;
+  const auto writes = completed_of(h, reg_op_kind::write);
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (const std::size_t a : writes)
+    for (const std::size_t b : writes)
+      if (h[a].version < h[b].version && h[a].invoked_stamp > 2 &&
+          h[a].invoked_at > 2)
+        candidates.push_back({a, b});
+  if (candidates.empty()) return {};
+  const auto [a, b] = candidates[seed % candidates.size()];
+  widen(h);
+  // Place b's interval in the open gap just below a's invocation (the
+  // widened axes have no events strictly inside (10t-10, 10t)).
+  h[b].invoked_stamp = h[a].invoked_stamp - 2;
+  h[b].returned_stamp = h[a].invoked_stamp - 1;
+  h[b].invoked_at = h[a].invoked_at - 2;
+  h[b].returned_at = h[a].invoked_at - 1;
+  return {b};
+}
+
+/// Duplicate-version write: a later write reuses an earlier write's
+/// version tag, violating Proposition 3 uniqueness.
+inline std::vector<std::size_t> mutate_duplicate_version(register_history& h,
+                                                         std::uint64_t seed) {
+  using namespace mutation_detail;
+  const auto writes = completed_of(h, reg_op_kind::write);
+  if (writes.size() < 2) return {};
+  const std::size_t a = writes[seed % (writes.size() - 1)];
+  const std::size_t b = writes.back();
+  if (a == b) return {};
+  h[b].version = h[a].version;
+  return {b};
+}
+
+/// Phantom read: a read returns a value no write ever produced, under a
+/// version tag that does not exist.
+inline std::vector<std::size_t> mutate_phantom_read(register_history& h,
+                                                    std::uint64_t seed) {
+  using namespace mutation_detail;
+  const auto reads = completed_of(h, reg_op_kind::read);
+  if (reads.empty()) return {};
+  const std::size_t r = reads[seed % reads.size()];
+  h[r].value = 987654321;
+  h[r].version = reg_version{999999999, h[r].proc};
+  return {r};
+}
+
+/// The corpus, in a stable order.
+inline const std::vector<history_mutator>& history_mutations() {
+  static const std::vector<history_mutator> corpus = {
+      {"stale_read", true, mutate_stale_read},
+      {"lost_write", false, mutate_lost_write},
+      {"version_swap", true, mutate_version_swap},
+      {"real_time_inversion", true, mutate_real_time_inversion},
+      {"duplicate_version_write", false, mutate_duplicate_version},
+      {"phantom_read", false, mutate_phantom_read},
+  };
+  return corpus;
+}
+
+}  // namespace gqs

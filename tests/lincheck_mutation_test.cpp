@@ -1,10 +1,19 @@
 // lincheck_mutation_test — mutation testing of the linearizability
-// checkers: take genuinely linearizable histories produced by the real
-// protocol, inject targeted corruptions, and require BOTH checkers to
-// reject. Guards against checkers that silently accept everything.
+// checkers: take genuinely linearizable histories (produced by the real
+// protocol and by the synthetic generator), inject targeted corruptions
+// from the shared tests/history_mutations.hpp corpus, and require every
+// checker to reject — in batch AND streaming modes — with the
+// counterexample cycle passing through a mutated operation. Guards
+// against checkers that silently accept everything.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
+#include "history_mutations.hpp"
 #include "lincheck/dependency_graph.hpp"
+#include "lincheck/history_checker.hpp"
+#include "lincheck/history_gen.hpp"
 #include "lincheck/wing_gong.hpp"
 #include "workload/worlds.hpp"
 
@@ -37,6 +46,7 @@ class MutationSweep : public ::testing::TestWithParam<unsigned> {
     ASSERT_GE(history_.size(), 6u);
     ASSERT_TRUE(check_linearizable(history_).linearizable);
     ASSERT_TRUE(check_dependency_graph(history_).linearizable);
+    ASSERT_TRUE(check_history(history_).linearizable);
   }
   register_history history_;
 
@@ -54,6 +64,7 @@ TEST_P(MutationSweep, PhantomReadValueRejected) {
   mutated[first_read()].value = 9999;
   EXPECT_FALSE(check_linearizable(mutated).linearizable);
   EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+  EXPECT_FALSE(check_history(mutated).linearizable);
 }
 
 TEST_P(MutationSweep, StaleReadRejected) {
@@ -78,12 +89,15 @@ TEST_P(MutationSweep, StaleReadRejected) {
   mutated[last_read].version = first_version;
   EXPECT_FALSE(check_linearizable(mutated).linearizable);
   EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+  const auto fast = check_history(mutated);
+  EXPECT_FALSE(fast.linearizable);
+  EXPECT_TRUE(fast.cycle_contains(last_read)) << fast.reason;
 }
 
 TEST_P(MutationSweep, SwappedWriteVersionsRejectedByWhiteBox) {
   // Swapping two writes' version tags breaks the ww/rt consistency that
   // the Appendix-B graph checks (the black-box checker does not see tags,
-  // so only the white-box one must catch pure tag corruption).
+  // so only the white-box ones must catch pure tag corruption).
   register_history mutated = history_;
   std::vector<std::size_t> writes;
   for (std::size_t i = 0; i < mutated.size(); ++i)
@@ -91,6 +105,7 @@ TEST_P(MutationSweep, SwappedWriteVersionsRejectedByWhiteBox) {
   ASSERT_GE(writes.size(), 2u);
   std::swap(mutated[writes.front()].version, mutated[writes.back()].version);
   EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+  EXPECT_FALSE(check_history(mutated).linearizable);
 }
 
 TEST_P(MutationSweep, DuplicatedVersionRejectedByWhiteBox) {
@@ -101,6 +116,10 @@ TEST_P(MutationSweep, DuplicatedVersionRejectedByWhiteBox) {
   ASSERT_GE(writes.size(), 2u);
   mutated[writes.back()].version = mutated[writes.front()].version;
   EXPECT_FALSE(check_dependency_graph(mutated).linearizable);
+  const auto fast = check_history(mutated);
+  EXPECT_FALSE(fast.linearizable);
+  EXPECT_NE(fast.reason.find("share version"), std::string::npos)
+      << fast.reason;
 }
 
 TEST_P(MutationSweep, ReorderedResponseRejected) {
@@ -130,6 +149,69 @@ TEST_P(MutationSweep, ReorderedResponseRejected) {
       mutated[first_write].returned_stamp + 1;
   mutated[last_write].returned_stamp = mutated[fr].invoked_stamp - 1;
   EXPECT_FALSE(check_linearizable(mutated).linearizable);
+  const auto fast = check_history(mutated);
+  EXPECT_FALSE(fast.linearizable);
+  EXPECT_TRUE(fast.cycle_contains(last_write)) << fast.reason;
+}
+
+// ---- the shared mutation corpus, batch AND streaming ----
+
+TEST_P(MutationSweep, CorpusCaughtInBatchAndStreaming) {
+  struct source {
+    std::string name;
+    register_history h;
+  };
+  std::vector<source> sources;
+  sources.push_back({"real", history_});
+  synthetic_history_options o;
+  o.ops = 150;
+  o.procs = 4;
+  o.overlap = 4;
+  sources.push_back(
+      {"synthetic", make_synthetic_history(GetParam() * 101 + 13, o)});
+
+  std::map<std::string, unsigned> applied;
+  for (const source& src : sources) {
+    ASSERT_TRUE(check_history(src.h).linearizable) << src.name;
+    {
+      streaming_checker clean(1);
+      ASSERT_TRUE(replay_streaming(clean, src.h).linearizable) << src.name;
+    }
+    for (const history_mutator& m : history_mutations()) {
+      for (std::uint64_t pick = 0; pick < 3; ++pick) {
+        register_history mutated = src.h;
+        const auto touched = m.apply(mutated, pick);
+        if (touched.empty()) continue;
+        ++applied[m.name];
+        const std::string ctx =
+            src.name + " + " + m.name + " pick " + std::to_string(pick);
+
+        const auto batch = check_history(mutated);
+        EXPECT_FALSE(batch.linearizable) << ctx;
+
+        streaming_checker stream(1);
+        const auto& live = replay_streaming(stream, mutated);
+        EXPECT_FALSE(live.linearizable) << ctx;
+
+        if (m.expect_cycle) {
+          // The counterexample must pass through a mutated op — the
+          // mutators guarantee the graph minus the mutated ops is acyclic.
+          const auto hits = [&](const lincheck_result& r) {
+            for (const std::size_t t : touched)
+              if (r.cycle_contains(t)) return true;
+            return false;
+          };
+          ASSERT_FALSE(batch.cycle.empty()) << ctx << ": " << batch.reason;
+          EXPECT_TRUE(hits(batch)) << ctx << ": " << batch.reason;
+          ASSERT_FALSE(live.cycle.empty()) << ctx << ": " << live.reason;
+          EXPECT_TRUE(hits(live)) << ctx << ": " << live.reason;
+        }
+      }
+    }
+  }
+  // Every mutator in the corpus found a host somewhere.
+  for (const history_mutator& m : history_mutations())
+    EXPECT_GT(applied[m.name], 0u) << m.name << " never applicable";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Range(0u, 4u));

@@ -8,11 +8,17 @@
 // a strike).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
+#include "history_mutations.hpp"
 #include "lincheck/dependency_graph.hpp"
+#include "lincheck/history_checker.hpp"
 #include "lincheck/wing_gong.hpp"
+#include "register/keyed_register.hpp"
 #include "sim/flooding.hpp"
+#include "sim/transport.hpp"
+#include "workload/clients.hpp"
 #include "workload/worlds.hpp"
 
 namespace gqs {
@@ -122,6 +128,119 @@ TEST_P(SoakSweep, ConsensusFleetUnderLateGst) {
       << "seed " << seed << " pattern " << pattern << " gst " << gst;
   const auto safety = check_consensus(w.client.outcomes(), u_f);
   EXPECT_TRUE(safety.linearizable) << safety.reason;
+}
+
+// ---- streaming checker live inside a multi-key service soak ----
+
+/// Staged channel churn that never unseats quorum access: at `s1` the
+/// a↔b channels drop, at `s2` c↔d follow. Every process keeps a full
+/// figure-1 read quorum ({a,c} or {b,d}) and write quorum reachable
+/// throughout, so the run terminates while the gossip and quorum paths
+/// reroute mid-flight.
+fault_plan churn_plan(sim_time s1, sim_time s2) {
+  fault_plan plan(4);
+  plan.disconnect(0, 1, s1);
+  plan.disconnect(1, 0, s1);
+  plan.disconnect(2, 3, s2);
+  plan.disconnect(3, 2, s2);
+  return plan;
+}
+
+TEST_P(SoakSweep, KeyedServiceStreamingCheckerAcrossChurn) {
+  const unsigned seed = GetParam();
+  constexpr process_id kN = 4;
+  constexpr service_key kKeys = 16;
+  const auto fig = make_figure1();
+  const sim_time s1 = 150'000 + (seed % 3) * 100'000;
+  simulation sim(kN, network_options{}, churn_plan(s1, 2 * s1), seed);
+  std::vector<keyed_register_node*> nodes;
+  for (process_id p = 0; p < kN; ++p) {
+    auto comp = std::make_unique<keyed_register_node>(
+        kKeys, quorum_config::of(fig.gqs), service_options{});
+    nodes.push_back(comp.get());
+    sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+  }
+  sim.start();
+  sim.run_until(0);
+
+  client_workload_options opts;
+  opts.keys = kKeys;
+  opts.zipf_theta = 0.9;
+  opts.read_ratio = 0.5;
+  opts.ops_per_process = 120;
+  opts.inflight_window = 2;
+  opts.partition_writes = true;
+  opts.seed = 1000 + seed;
+  keyed_node_adapter<keyed_register_node> adapter{nodes};
+  workload_driver<keyed_node_adapter<keyed_register_node>> driver(
+      sim, std::move(adapter), opts);
+
+  // The checker runs live off the driver hooks; the retirement hook and
+  // active_ops() sampling verify the window stays O(concurrency), not
+  // O(history).
+  streaming_checker checker(kKeys);
+  std::uint64_t hook_retired = 0;
+  checker.set_retire_hook(
+      [&](service_key, std::uint64_t n) { hook_retired += n; });
+  std::size_t peak_window = 0;
+  driver.on_issue = [&](const keyed_register_op& rec, std::size_t) {
+    checker.on_invoke(rec);
+  };
+  driver.on_complete_op = [&](const keyed_register_op& rec,
+                              std::size_t idx) {
+    checker.on_complete(rec, idx);
+    peak_window = std::max(peak_window, checker.active_ops());
+  };
+
+  driver.launch();
+  ASSERT_TRUE(sim.run_until_condition([&] { return driver.done(); },
+                                      sim.now() + kBudget))
+      << "service stalled across churn, seed " << seed;
+  const auto& live = checker.finish();
+  EXPECT_TRUE(live.linearizable) << live.reason;
+  EXPECT_EQ(checker.checked_ops(), driver.completed());
+  // Window memory: everything retired once the run drains, and the live
+  // graph never held more than a small multiple of the in-flight ops
+  // (4 processes × window 2), far below the full history.
+  EXPECT_EQ(checker.active_ops(), 0u);
+  EXPECT_EQ(checker.retired_ops(), driver.completed());
+  EXPECT_EQ(hook_retired, checker.retired_ops());
+  EXPECT_LE(peak_window, 64u);
+  EXPECT_LT(peak_window, driver.completed() / 2);
+
+  // Batch cross-check of the same run, serial and fan-out identical.
+  keyed_check_options one, two;
+  one.threads = 1;
+  two.threads = 2;
+  const auto b1 = check_keyed_history(driver.history(), kKeys, one);
+  const auto b2 = check_keyed_history(driver.history(), kKeys, two);
+  EXPECT_TRUE(b1.linearizable) << b1.reason;
+  EXPECT_EQ(b1.linearizable, b2.linearizable);
+  EXPECT_EQ(b1.reason, b2.reason);
+  EXPECT_EQ(b1.per_key_ops, b2.per_key_ops);
+
+  // Inject a stale read into one key's projection and replay: a fresh
+  // streaming checker must flag it in the window where it happens — not
+  // at the end of the run.
+  for (service_key k = 0; k < kKeys; ++k) {
+    register_history proj = driver.history_of(k);
+    const auto touched = mutate_stale_read(proj, seed);
+    if (touched.empty()) continue;
+    streaming_checker dirty(kKeys);
+    const auto& verdict = replay_streaming(dirty, proj, k);
+    ASSERT_FALSE(verdict.linearizable) << "key " << k;
+    // The violation latches exactly when the stale read completes — its
+    // position in completion order — not at the end of the replay.
+    std::uint64_t victim_pos = 0;
+    for (const register_op& op : proj)
+      if (op.complete() &&
+          op.returned_stamp <= proj[touched.front()].returned_stamp)
+        ++victim_pos;
+    EXPECT_EQ(dirty.violation_at(), victim_pos);
+    EXPECT_TRUE(verdict.cycle_contains(touched.front())) << verdict.reason;
+    return;  // one injection per soak iteration is enough
+  }
+  ADD_FAILURE() << "no key admitted a stale-read injection, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SoakSweep, ::testing::Range(0u, 8u));
