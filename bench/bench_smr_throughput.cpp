@@ -1,0 +1,519 @@
+// bench_smr_throughput — sharded, pipelined SMR vs the mux-of-slots path.
+//
+// Two replicated-log engines commit the identical command volume (8
+// processes x 120 commands) over the same n=8 threshold GQS (k=2) and
+// partially synchronous network:
+//
+//   mux      — the seed path (smr/replicated_log.hpp): one single-decree
+//              Figure 6 consensus instance per slot, multiplexed over one
+//              endpoint, every phase message broadcast to all n. Each
+//              process keeps its one allowed outstanding command pending
+//              at all times — the seed's concurrency ceiling. The mux
+//              pass commits a smaller volume (30 commands per process):
+//              its committed-commands/sec is a *rate*, and larger
+//              volumes only slow the seed further (every slot's view
+//              synchronizer lengthens views from t = 0, so late commands
+//              wait ever longer — the E13 artifact), which would flatter
+//              the speedup.
+//   sharded  — the fast path (smr/smr_service.hpp): the keyspace
+//              partitioned over 4 consensus groups with planner-assigned
+//              leaders (strategy/shard_plan.hpp), one Phase-1 promise per
+//              lease, same-instant commands batched into multi-command
+//              entries, up to 4 pipelined Phase-2 slots per shard, and
+//              phases targeted at strategy-sampled quorums with timeout
+//              escalation armed.
+//
+// Cross-checks before any measurement is reported: the mux prefix holds
+// every submitted command exactly once with replicas in agreement; the
+// sharded run converges every replica to identical per-shard applied
+// prefixes with no safety violation (check_smr_agreement), its full keyed
+// history passes the dependency-graph checker with identical 1- and
+// 2-thread fan-out verdicts, and rerunning the sharded grid under a
+// different experiment-runner thread count reproduces bit-identical
+// client-visible results. A raised validation pass (GQS_BENCH_BIG_OPS ops
+// per process, default 25k x 8 = 200k commands) reruns the sharded mode
+// with the streaming checker live off the workload-driver hooks and
+// batch-checks the full history afterwards.
+//
+// Acceptance bar: committed commands/sec (sharded) ≥ 5× (mux) — gated in
+// CI via bench/baselines.json (key `speedup`). The record also carries
+// commit-latency p50/p99, messages per committed command on both paths,
+// realized batching (commands per log entry) and escalation counts.
+#include "bench_main.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/factories.hpp"
+#include "lincheck/history_checker.hpp"
+#include "sim/runner.hpp"
+#include "sim/transport.hpp"
+#include "smr/replicated_log.hpp"
+#include "strategy/shard_plan.hpp"
+#include "workload/clients.hpp"
+#include "workload/smr_workload.hpp"
+#include "workload/table.hpp"
+
+namespace {
+
+using namespace gqs;
+
+constexpr process_id kN = 8;
+constexpr service_key kKeys = 64;
+constexpr std::size_t kShards = 4;
+constexpr std::uint64_t kCmdsPerProcess = 120;
+constexpr std::uint64_t kMuxCmdsPerProcess = 30;  // see header comment
+constexpr int kReps = 3;  // best-of per engine
+constexpr sim_time kHorizon = 600L * 1000 * 1000;
+constexpr sim_time kQuiesce = 1000000;  // 1 s: commit broadcasts drain
+constexpr std::uint64_t kSelectorSeed = 0x5742;
+
+client_workload_options workload(std::uint64_t ops_per_process) {
+  client_workload_options opts;
+  opts.keys = kKeys;
+  opts.zipf_theta = 0.99;
+  opts.read_ratio = 0.5;  // reads replicate through the log too
+  opts.ops_per_process = ops_per_process;
+  opts.inflight_window = 8;  // feeds the leader's batcher and pipeline
+  opts.partition_writes = true;
+  opts.seed = 20260807;
+  return opts;
+}
+
+shard_plan make_plan() {
+  shard_plan_options options;
+  options.shards = kShards;
+  options.selector_seed = kSelectorSeed;
+  options.planner.read_ratio = 0.5;
+  return plan_shards(threshold_quorum_system(kN, 2), options);
+}
+
+smr_options engine_options(const shard_plan& plan) {
+  smr_options o;
+  o.shards = kShards;
+  o.shard_selectors = plan.selectors;
+  o.leaders = plan.leaders;
+  return o;
+}
+
+// ---------------------------------------------------------------------
+// The seed path: one consensus instance per slot, one outstanding
+// command per process, everyone racing.
+
+struct mux_result {
+  bool ok = false;
+  std::string why;
+  double wall_s = 0;
+  double cmds_per_sec = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t messages = 0;
+  std::vector<double> latencies_us;
+};
+
+mux_result run_mux_pass(std::uint64_t seed) {
+  const auto system = threshold_quorum_system(kN, 2);
+  const std::size_t total = kN * kMuxCmdsPerProcess;
+  simulation sim(kN, consensus_world::partial_sync(), fault_plan::none(kN),
+                 seed);
+  std::vector<replicated_log_node*> replicas;
+  for (process_id p = 0; p < kN; ++p) {
+    auto nd = std::make_unique<replicated_log_node>(
+        kN, quorum_config::of(system), total + kN);
+    replicas.push_back(nd.get());
+    sim.set_node(p, std::move(nd));
+  }
+  sim.start();
+  sim.run_until(0);
+
+  mux_result r;
+  std::vector<std::uint64_t> done_counts(kN, 0);
+  std::vector<sim_time> issued_at(kN, 0);
+  // Each process chains its submissions: replicated_log_node allows one
+  // outstanding command per replica, so this is the mux path running at
+  // its concurrency ceiling (8 proposers racing for every slot).
+  std::function<void(process_id)> pump = [&](process_id p) {
+    if (done_counts[p] >= kMuxCmdsPerProcess) return;
+    issued_at[p] = sim.now();
+    const auto payload =
+        static_cast<std::int32_t>(1000 * p + done_counts[p]);
+    replicas[p]->submit(payload, [&, p](std::size_t) {
+      r.latencies_us.push_back(
+          static_cast<double>(sim.now() - issued_at[p]));
+      ++done_counts[p];
+      pump(p);
+    });
+  };
+  for (process_id p = 0; p < kN; ++p) sim.post(p, [&pump, p] { pump(p); });
+
+  const auto begin = std::chrono::steady_clock::now();
+  const bool done = sim.run_until_condition(
+      [&] {
+        for (process_id p = 0; p < kN; ++p)
+          if (done_counts[p] < kMuxCmdsPerProcess) return false;
+        return true;
+      },
+      sim.now() + kHorizon);
+  const auto end = std::chrono::steady_clock::now();
+  if (!done) {
+    r.why = "mux pass did not complete";
+    return r;
+  }
+  // Passive learners drain the full prefix everywhere (not timed: the
+  // sharded path's measured interval excludes its drain too).
+  if (!sim.run_until_condition(
+          [&] {
+            for (const auto* rep : replicas)
+              if (rep->committed_prefix() < total) return false;
+            return true;
+          },
+          sim.now() + kHorizon)) {
+    r.why = "mux prefixes did not converge";
+    return r;
+  }
+
+  const std::vector<const replicated_log_node*> views(replicas.begin(),
+                                                      replicas.end());
+  if (!check_log_agreement(views).linearizable) {
+    r.why = "mux replicas disagree on a slot";
+    return r;
+  }
+  // Exactly-once: the converged prefix holds each (submitter, seq) once.
+  std::map<std::pair<process_id, std::uint32_t>, int> seen;
+  for (std::size_t s = 0; s < total; ++s) {
+    const auto& cmd = replicas[0]->log()[s];
+    ++seen[{cmd->submitter, cmd->submit_seq}];
+  }
+  if (seen.size() != total) {
+    r.why = "mux prefix lost or duplicated a command";
+    return r;
+  }
+
+  r.ok = true;
+  r.wall_s = std::chrono::duration<double>(end - begin).count();
+  r.completed = total;
+  r.cmds_per_sec =
+      r.wall_s > 0 ? static_cast<double>(total) / r.wall_s : 0;
+  r.messages = sim.metrics().messages_sent;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// The fast path: sharded, pipelined smr_service under the keyed workload
+// driver.
+
+struct smr_result {
+  bool ok = false;
+  std::string why;
+  double wall_s = 0;
+  double cmds_per_sec = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t view_changes = 0;
+  double cmds_per_entry = 0;  ///< realized batching at the leaders
+  std::vector<double> latencies_us;
+  std::vector<std::uint64_t> prefixes;  ///< converged per-shard prefixes
+  /// Freshest applied (value, version) per key after convergence.
+  std::vector<std::pair<reg_value, reg_version>> finals;
+  bool per_key_linearizable = true;
+};
+
+bool converged(const smr_world& w, std::uint64_t commands) {
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    const std::uint64_t prefix = w.nodes[0]->applied_prefix(shard);
+    for (const auto* node : w.nodes)
+      if (node->applied_prefix(shard) != prefix) return false;
+  }
+  for (const auto* node : w.nodes)
+    if (node->counters().commands_applied < commands) return false;
+  return true;
+}
+
+smr_result run_smr_pass(std::uint64_t seed, const shard_plan& plan,
+                        std::uint64_t ops_per_process, bool check_histories,
+                        streaming_checker* live, std::string* live_why) {
+  const auto system = threshold_quorum_system(kN, 2);
+  smr_world w(system, fault_plan::none(kN), seed, kKeys,
+              engine_options(plan));
+  workload_driver<smr_adapter> driver(w.sim, w.adapter(),
+                                      workload(ops_per_process));
+  if (live) {
+    driver.on_issue = [live](const keyed_register_op& rec, std::size_t) {
+      live->on_invoke(rec);
+    };
+    driver.on_complete_op = [live](const keyed_register_op& rec,
+                                   std::size_t idx) {
+      live->on_complete(rec, idx);
+    };
+  }
+
+  smr_result r;
+  driver.launch();
+  const sim_time horizon =
+      kHorizon *
+      static_cast<sim_time>(1 + ops_per_process / kCmdsPerProcess);
+  const auto begin = std::chrono::steady_clock::now();
+  const bool done = w.sim.run_until_condition([&] { return driver.done(); },
+                                              w.sim.now() + horizon);
+  const auto end = std::chrono::steady_clock::now();
+  if (!done) {
+    r.why = "sharded pass did not complete";
+    return r;
+  }
+  // Commit broadcasts drain: every replica applies the full log.
+  if (!w.sim.run_until_condition(
+          [&] { return converged(w, driver.completed()); },
+          w.sim.now() + kQuiesce + horizon)) {
+    r.why = "sharded replicas did not converge";
+    return r;
+  }
+  const auto agreement = check_smr_agreement(w.replicas());
+  if (!agreement.linearizable) {
+    r.why = "sharded agreement violated: " + agreement.reason;
+    return r;
+  }
+  if (live) {
+    const auto& streamed = live->finish();
+    if (!streamed.linearizable) {
+      *live_why = "streaming checker flagged the run: " + streamed.reason;
+      return r;
+    }
+    if (live->retired_ops() != driver.completed() ||
+        live->active_ops() != 0) {
+      *live_why = "streaming checker failed to retire the drained run";
+      return r;
+    }
+  }
+
+  r.ok = true;
+  r.wall_s = std::chrono::duration<double>(end - begin).count();
+  r.completed = driver.completed();
+  r.cmds_per_sec =
+      r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s : 0;
+  r.messages = w.sim.metrics().messages_sent;
+  r.latencies_us = driver.latencies_us();
+  std::uint64_t entries = 0, applied_at_leaders = 0;
+  for (const auto* node : w.nodes) {
+    r.escalations += node->counters().escalations;
+    r.view_changes += node->counters().view_changes;
+    entries += node->counters().entries_proposed;
+    applied_at_leaders += node->counters().commands_submitted;
+  }
+  r.cmds_per_entry = entries > 0 ? static_cast<double>(applied_at_leaders) /
+                                       static_cast<double>(entries)
+                                 : 0;
+  r.prefixes.reserve(kShards);
+  for (std::size_t shard = 0; shard < kShards; ++shard)
+    r.prefixes.push_back(w.nodes[0]->applied_prefix(shard));
+  r.finals.reserve(kKeys);
+  for (service_key k = 0; k < kKeys; ++k) {
+    basic_reg_state<reg_value> freshest;
+    for (const auto* node : w.nodes) {
+      const auto& s = node->state_of(k);
+      if (s.version >= freshest.version) freshest = s;
+    }
+    r.finals.emplace_back(freshest.value, freshest.version);
+  }
+  if (check_histories) {
+    keyed_check_options serial, pooled;
+    serial.threads = 1;
+    pooled.threads = 2;
+    const auto l1 = check_keyed_history(driver.history(), kKeys, serial);
+    const auto l2 = check_keyed_history(driver.history(), kKeys, pooled);
+    if (!l1.linearizable) {
+      r.per_key_linearizable = false;
+      r.why = l1.reason;
+    } else if (l1.linearizable != l2.linearizable ||
+               l1.reason != l2.reason || l1.per_key_ops != l2.per_key_ops) {
+      r.per_key_linearizable = false;
+      r.why = "keyed checker fan-out differs across thread counts";
+    }
+  }
+  return r;
+}
+
+std::uint64_t client_state_digest(const smr_result& r) {
+  std::uint64_t d = 0xcbf29ce484222325ull;
+  auto mix = [&](std::uint64_t x) {
+    d ^= x;
+    d *= 0x100000001b3ull;
+  };
+  for (const std::uint64_t prefix : r.prefixes) mix(prefix);
+  for (const auto& [value, version] : r.finals) {
+    mix(static_cast<std::uint64_t>(value));
+    mix(version.number);
+    mix(version.writer);
+  }
+  return d;
+}
+
+}  // namespace
+
+int bench_entry() {
+  std::cout << "bench_smr_throughput — sharded, pipelined SMR vs the "
+               "mux-of-slots path\n";
+  print_heading(std::to_string(kN) + " processes x " +
+                std::to_string(kCmdsPerProcess) + " commands, " +
+                std::to_string(kShards) +
+                " shards, n=8 threshold GQS (k=2, best of " +
+                std::to_string(kReps) + ")");
+
+  const shard_plan plan = make_plan();
+  {
+    const auto duties = plan.leader_counts(kN);
+    std::uint64_t max_duty = 0;
+    for (const std::uint64_t d : duties) max_duty = std::max(max_duty, d);
+    std::cout << "shard plan: weighted load "
+              << fmt_double(plan.base.weighted_load, 4) << ", "
+              << kShards << " shards, max leader duty " << max_duty
+              << " shard(s)/process\n";
+  }
+
+  // ---- correctness cross-check (one seed, full history verification) ----
+  const mux_result mux_check = run_mux_pass(1);
+  if (!mux_check.ok) {
+    std::cerr << "mux cross-check failed: " << mux_check.why << "\n";
+    return 1;
+  }
+  const smr_result smr_check =
+      run_smr_pass(1, plan, kCmdsPerProcess, true, nullptr, nullptr);
+  if (!smr_check.ok || !smr_check.per_key_linearizable) {
+    std::cerr << "sharded cross-check failed: " << smr_check.why << "\n";
+    return 1;
+  }
+  std::uint64_t prefix_total = 0;
+  for (const std::uint64_t p : smr_check.prefixes) prefix_total += p;
+  std::cout << "cross-check: mux prefix (" << mux_check.completed
+            << " commands) exactly-once and agreed; sharded logs ("
+            << smr_check.completed << " commands, " << prefix_total
+            << " entries) converged, agreement clean, per-key histories "
+               "linearizable (1- and 2-thread verdicts identical)\n";
+
+  // ---- runner-thread determinism of the sharded mode ----
+  auto sharded_cell = [&plan](std::uint64_t seed) {
+    return [&plan, seed] {
+      const smr_result p =
+          run_smr_pass(seed, plan, kCmdsPerProcess, false, nullptr, nullptr);
+      run_result r;
+      r.ok = p.ok;
+      r.latencies_us = p.latencies_us;
+      r.stats["completed"] = static_cast<double>(p.completed);
+      r.stats["messages"] = static_cast<double>(p.messages);
+      const std::uint64_t digest = client_state_digest(p);
+      r.stats["digest_hi"] = static_cast<double>(digest >> 32);
+      r.stats["digest_lo"] = static_cast<double>(digest & 0xffffffffull);
+      return r;
+    };
+  };
+  std::vector<run_spec> det_specs;
+  for (std::uint64_t s = 2; s < 5; ++s)
+    det_specs.push_back({"sharded-" + std::to_string(s), sharded_cell(s)});
+  const auto det1 = experiment_runner(1).run_all(det_specs);
+  const auto det2 = experiment_runner(2).run_all(det_specs);
+  for (std::size_t i = 0; i < det_specs.size(); ++i) {
+    const bool same =
+        det1[i].ok == det2[i].ok &&
+        det1[i].latencies_us == det2[i].latencies_us &&
+        stat_or(det1[i], "completed") == stat_or(det2[i], "completed") &&
+        stat_or(det1[i], "messages") == stat_or(det2[i], "messages") &&
+        stat_or(det1[i], "digest_hi") == stat_or(det2[i], "digest_hi") &&
+        stat_or(det1[i], "digest_lo") == stat_or(det2[i], "digest_lo");
+    if (!same) {
+      std::cerr << "client-visible results differ across runner thread "
+                   "counts (cell "
+                << det_specs[i].label << ")\n";
+      return 1;
+    }
+  }
+  std::cout << "determinism: " << det_specs.size()
+            << " sharded cells bit-identical across 1- and 2-thread "
+               "runners\n";
+
+  // ---- raised validation pass (streaming + batch over 200k commands) ----
+  std::uint64_t big_per_proc = 25000;
+  if (const char* env = std::getenv("GQS_BENCH_BIG_OPS"))
+    big_per_proc = std::strtoull(env, nullptr, 10);
+  streaming_checker live(kKeys);
+  std::string live_why;
+  const smr_result big =
+      run_smr_pass(99, plan, big_per_proc, true, &live, &live_why);
+  if (!big.ok || !big.per_key_linearizable) {
+    std::cerr << "raised validation failed: " << big.why << live_why << "\n";
+    return 1;
+  }
+  std::cout << "validation at scale: " << fmt_count(big.completed)
+            << " commands checked live (streaming) and in batch; realized "
+               "batching "
+            << fmt_double(big.cmds_per_entry, 1) << " commands/entry\n";
+
+  // ---- throughput: best-of passes, interleaved ----
+  mux_result best_mux;
+  smr_result best_smr;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::uint64_t seed = 7 + static_cast<std::uint64_t>(rep);
+    mux_result m = run_mux_pass(seed);
+    smr_result s =
+        run_smr_pass(seed, plan, kCmdsPerProcess, false, nullptr, nullptr);
+    if (!m.ok || !s.ok) {
+      std::cerr << "measurement pass failed: " << m.why << s.why << "\n";
+      return 1;
+    }
+    if (!best_mux.ok || m.cmds_per_sec > best_mux.cmds_per_sec)
+      best_mux = std::move(m);
+    if (!best_smr.ok || s.cmds_per_sec > best_smr.cmds_per_sec)
+      best_smr = std::move(s);
+  }
+
+  const double mux_msgs =
+      static_cast<double>(best_mux.messages) /
+      static_cast<double>(best_mux.completed);
+  const double smr_msgs =
+      static_cast<double>(best_smr.messages) /
+      static_cast<double>(best_smr.completed);
+  const double speedup = best_mux.cmds_per_sec > 0
+                             ? best_smr.cmds_per_sec / best_mux.cmds_per_sec
+                             : 0;
+
+  const sample_summary mux_lat = summarize(best_mux.latencies_us);
+  const sample_summary smr_lat = summarize(best_smr.latencies_us);
+
+  text_table t({"engine", "cmds/sec", "msgs/cmd", "commit p50/p99 ms",
+                "escalations"});
+  t.add_row({"mux-of-slots (seed)",
+             fmt_count(static_cast<std::uint64_t>(best_mux.cmds_per_sec)),
+             fmt_double(mux_msgs, 1),
+             fmt_double(mux_lat.p50 / 1000, 1) + " / " +
+                 fmt_double(mux_lat.p99 / 1000, 1),
+             "0"});
+  t.add_row({"sharded + pipelined",
+             fmt_count(static_cast<std::uint64_t>(best_smr.cmds_per_sec)),
+             fmt_double(smr_msgs, 1),
+             fmt_double(smr_lat.p50 / 1000, 1) + " / " +
+                 fmt_double(smr_lat.p99 / 1000, 1),
+             fmt_count(best_smr.escalations)});
+  t.print();
+  std::cout << "\ncommitted-commands/sec speedup (sharded/mux): "
+            << fmt_double(speedup, 2) << "x — acceptance bar 5.0x\n";
+
+  gqs_bench::record("speedup", speedup);
+  gqs_bench::record("smr_commands_per_sec", best_smr.cmds_per_sec);
+  gqs_bench::record("mux_commands_per_sec", best_mux.cmds_per_sec);
+  gqs_bench::record("smr_msgs_per_command", smr_msgs);
+  gqs_bench::record("mux_msgs_per_command", mux_msgs);
+  gqs_bench::record("commit_p50_us", smr_lat.p50);
+  gqs_bench::record("commit_p99_us", smr_lat.p99);
+  gqs_bench::record("mux_commit_p50_us", mux_lat.p50);
+  gqs_bench::record("commands_per_entry", best_smr.cmds_per_entry);
+  gqs_bench::record("escalations", best_smr.escalations);
+  gqs_bench::record("view_changes", best_smr.view_changes);
+  gqs_bench::record("workload_commands", best_smr.completed);
+  gqs_bench::record("validated_commands", big.completed);
+
+  return speedup >= 5.0 ? 0 : 1;
+}

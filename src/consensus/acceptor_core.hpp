@@ -1,0 +1,97 @@
+// acceptor_core.hpp — the single-decree Paxos acceptor register shared by
+// every Figure-6 instantiation.
+//
+// Both the single-shot consensus_node and the sharded replicated log
+// (smr/smr_service.hpp) are built from the same three acceptor-side rules
+// of Figure 6:
+//
+//   * promise(v)  — enter view v and report the accepted pair (aview, val)
+//                   to the view's leader (the 1B payload, lines 27-30);
+//                   stale views are refused;
+//   * accept(v,x) — accept x in view v iff no higher view was promised
+//                   (val ← x, aview ← v; lines 17-22);
+//   * adopt_highest — the leader's value-adoption rule over a read
+//                   quorum's reports: the value accepted in the highest
+//                   view, or nothing if the quorum is entirely ⊥
+//                   (lines 12-14).
+//
+// consensus_node keeps exactly one acceptor_core; the SMR service keeps
+// one per (shard, slot) under a shard-wide promise — the way qaf_core's
+// collectors are shared between the per-object QAFs and the batched
+// multi-object service.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace gqs {
+
+/// An accepted pair as reported in a 1B message: the view the value was
+/// accepted in and the value itself (nullopt = ⊥, nothing accepted yet).
+template <class V>
+struct accepted_rec {
+  std::uint64_t aview = 0;
+  std::optional<V> val;
+
+  friend bool operator==(const accepted_rec&, const accepted_rec&) = default;
+};
+
+/// The leader's value-adoption rule (Figure 6, lines 12-14): among a read
+/// quorum's 1B reports, the value accepted in the highest view — or
+/// nullopt when nobody in the quorum accepted anything (the leader is
+/// free to propose its own value).
+template <class V>
+std::optional<V> adopt_highest(const std::vector<accepted_rec<V>>& reports) {
+  std::optional<V> pick;
+  std::uint64_t best_aview = 0;
+  for (const accepted_rec<V>& r : reports) {
+    if (!r.val.has_value()) continue;
+    if (!pick || r.aview >= best_aview) {
+      pick = r.val;
+      best_aview = r.aview;
+    }
+  }
+  return pick;
+}
+
+/// One single-decree acceptor register: the promised view plus the
+/// accepted (aview, val) pair, with the Figure-6 state transitions.
+template <class V>
+class acceptor_core {
+ public:
+  /// Phase 1: promise not to take part in any view below `view` and
+  /// report the accepted pair, or refuse (nullopt) if a higher view was
+  /// already promised. Re-promising the current view is idempotent —
+  /// duplicate 1A deliveries (targeted + escalated broadcast) re-report
+  /// the same pair.
+  std::optional<accepted_rec<V>> promise(std::uint64_t view) {
+    if (view < promised_) return std::nullopt;
+    promised_ = view;
+    return accepted_;
+  }
+
+  /// Phase 2: accept x in `view` unless a higher view was promised.
+  /// Returns true iff accepted (the caller then emits the 2B).
+  bool accept(std::uint64_t view, V x) {
+    if (view < promised_) return false;
+    promised_ = view;
+    accepted_.aview = view;
+    accepted_.val = std::move(x);
+    return true;
+  }
+
+  std::uint64_t promised_view() const noexcept { return promised_; }
+  std::uint64_t accepted_view() const noexcept { return accepted_.aview; }
+  const std::optional<V>& accepted_value() const noexcept {
+    return accepted_.val;
+  }
+  const accepted_rec<V>& accepted() const noexcept { return accepted_; }
+
+ private:
+  std::uint64_t promised_ = 0;
+  accepted_rec<V> accepted_;
+};
+
+}  // namespace gqs

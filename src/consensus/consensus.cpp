@@ -47,10 +47,9 @@ void consensus_node::advance_view() {
   view_log_.emplace_back(view_, now());
   view_timer_ = set_timer(static_cast<sim_time>(view_) *
                           options_.view_duration_unit);
-  unicast(leader_of(view_),
-          make_message<msg_1b>(view_, aview_,
-                               val_set_ ? std::optional<value_type>(val_)
-                                        : std::nullopt));
+  // view_ is monotone, so the promise never refuses.
+  const auto rec = acceptor_.promise(view_);
+  unicast(leader_of(view_), make_message<msg_1b>(view_, rec->aview, rec->val));
   phase_ = phase_t::enter;  // line 31 — even after deciding
   // Messages for this view may already be buffered.
   try_lead();
@@ -66,8 +65,7 @@ void consensus_node::advance_view() {
 void consensus_node::deliver(process_id origin, const message_ptr& payload) {
   if (const auto* m = message_cast<msg_1b>(payload)) {
     if (m->view < view_) return;  // out of date
-    auto& entry = one_bs_[m->view][origin];
-    entry = one_b_entry{m->aview, m->val};
+    one_bs_[m->view][origin] = accepted_rec<value_type>{m->aview, m->val};
     try_lead();
   } else if (const auto* m = message_cast<msg_2a>(payload)) {
     if (m->view < view_) return;
@@ -91,17 +89,12 @@ void consensus_node::try_lead() {
   const auto quorum = covered_quorum(config_.reads, responders);
   if (!quorum) return;
 
-  // Pick the value accepted in the highest view among the quorum, if any.
-  std::optional<value_type> pick;
-  std::uint64_t best_aview = 0;
-  for (process_id p : *quorum) {
-    const one_b_entry& e = it->second.at(p);
-    if (!e.val.has_value()) continue;
-    if (!pick || e.aview >= best_aview) {
-      pick = e.val;
-      best_aview = e.aview;
-    }
-  }
+  // Pick the value accepted in the highest view among the quorum, if any
+  // (the shared adoption rule — acceptor_core.hpp).
+  std::vector<accepted_rec<value_type>> reports;
+  reports.reserve(static_cast<std::size_t>(quorum->size()));
+  for (process_id p : *quorum) reports.push_back(it->second.at(p));
+  std::optional<value_type> pick = adopt_highest(reports);
   if (!pick) {
     if (!my_val_.has_value()) return;  // line 11: skip this turn
     pick = my_val_;
@@ -115,10 +108,8 @@ void consensus_node::try_accept() {
   if (phase_ != phase_t::enter && phase_ != phase_t::propose) return;
   const auto it = two_as_.find(view_);
   if (it == two_as_.end()) return;
-  val_ = it->second;
-  val_set_ = true;
-  aview_ = view_;
-  broadcast(make_message<msg_2b>(view_, val_));
+  acceptor_.accept(view_, it->second);  // view_ was promised on entry
+  broadcast(make_message<msg_2b>(view_, it->second));
   phase_ = phase_t::accept;
 }
 
@@ -134,9 +125,7 @@ void consensus_node::try_decide() {
     for (const auto& [q, y] : it->second)
       if (y == x) matching.insert(q);
     if (covered_quorum(config_.writes, matching)) {
-      val_ = x;
-      val_set_ = true;
-      aview_ = view_;
+      acceptor_.accept(view_, x);
       phase_ = phase_t::decide;
       decision_ = x;
       settle_waiters();

@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "consensus/acceptor_core.hpp"
 #include "quorum/quorum_config.hpp"
 #include "register/register_state.hpp"
 #include "sim/transport.hpp"
@@ -127,9 +128,9 @@ class consensus_node : public component {
   consensus_options options_;
 
   std::uint64_t view_ = 0;
-  std::uint64_t aview_ = 0;
-  value_type val_ = 0;
-  bool val_set_ = false;  // val_ meaningful (⊥ tracking)
+  /// The single-decree acceptor register (promised view + accepted pair);
+  /// shared logic with the sharded SMR service — see acceptor_core.hpp.
+  acceptor_core<value_type> acceptor_;
   std::optional<value_type> my_val_;
   phase_t phase_ = phase_t::enter;
   int view_timer_ = -1;
@@ -141,11 +142,8 @@ class consensus_node : public component {
   std::optional<value_type> decision_;
 
   // Buffers, keyed by view; future-view messages wait for view entry.
-  struct one_b_entry {
-    std::uint64_t aview;
-    std::optional<value_type> val;
-  };
-  std::map<std::uint64_t, std::map<process_id, one_b_entry>> one_bs_;
+  std::map<std::uint64_t, std::map<process_id, accepted_rec<value_type>>>
+      one_bs_;
   std::map<std::uint64_t, value_type> two_as_;
   std::map<std::uint64_t, std::map<process_id, value_type>> two_bs_;
 

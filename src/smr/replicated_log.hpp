@@ -20,6 +20,7 @@
 #include <functional>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "consensus/consensus.hpp"
@@ -35,10 +36,17 @@ struct log_command {
   process_id submitter = 0;
   std::uint32_t submit_seq = 0;
 
-  /// Packs into the consensus value domain (int64).
+  /// Packs into the consensus value domain (int64): 8 bits of submitter,
+  /// 24 bits of submit_seq, 32 bits of payload. Values outside those
+  /// fields would silently alias another command (a wrong-submitter
+  /// completion or a duplicate in the converged log), so they throw.
   std::int64_t pack() const {
+    if (submitter > 0xffu)
+      throw std::out_of_range("log_command: submitter exceeds 8 bits");
+    if (submit_seq > 0xffffffu)
+      throw std::out_of_range("log_command: submit_seq exceeds 24 bits");
     return (static_cast<std::int64_t>(submitter) << 56) |
-           (static_cast<std::int64_t>(submit_seq & 0xffffff) << 32) |
+           (static_cast<std::int64_t>(submit_seq) << 32) |
            static_cast<std::int64_t>(static_cast<std::uint32_t>(payload));
   }
   static log_command unpack(std::int64_t v) {

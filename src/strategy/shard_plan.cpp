@@ -1,0 +1,64 @@
+#include "strategy/shard_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gqs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void shard_plan_options::validate() const {
+  if (shards == 0) throw std::invalid_argument("shard_plan: no shards");
+  if (shards > 4096)
+    throw std::invalid_argument("shard_plan: too many shards");
+}
+
+std::vector<std::uint64_t> shard_plan::leader_counts(process_id n) const {
+  std::vector<std::uint64_t> counts(n, 0);
+  for (process_id p : leaders) {
+    if (p < n) ++counts[p];
+  }
+  return counts;
+}
+
+shard_plan plan_shards(const generalized_quorum_system& gqs,
+                       const shard_plan_options& options) {
+  options.validate();
+  shard_plan plan;
+  plan.base = plan_optimal(gqs, options.planner);
+  const process_id n = gqs.system_size();
+
+  // Leader duty round-robins over processes in ascending strategy-load
+  // order (ties by id, keeping the assignment deterministic): the members
+  // the quorum draws hit least absorb the leader's extra per-batch work
+  // first.
+  std::vector<process_id> order(n);
+  std::iota(order.begin(), order.end(), process_id{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](process_id a, process_id b) {
+                     return plan.base.load[a] < plan.base.load[b];
+                   });
+  plan.leaders.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s)
+    plan.leaders.push_back(order[s % n]);
+
+  plan.selectors.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s)
+    plan.selectors.push_back(std::make_shared<const quorum_selector>(
+        plan.base.strategy,
+        splitmix64(options.selector_seed ^
+                   static_cast<std::uint64_t>(s + 1))));
+  return plan;
+}
+
+}  // namespace gqs

@@ -1,0 +1,53 @@
+// shard_plan.hpp — per-shard quorum plans for the sharded SMR service.
+//
+// The planner (strategy/planner.hpp) optimizes one read/write strategy
+// for the whole system; a sharded replicated log adds two per-shard
+// decisions on top:
+//
+//   * which process leads each shard's consensus group initially (view 1)
+//     — spread so that leader duty lands on the processes the strategy
+//     loads least, and round-robins across them;
+//   * which selector each shard samples its phase quorums from — the same
+//     optimal strategy, but seed-decorrelated per shard so concurrent
+//     shards do not synchronize their quorum draws onto the same members
+//     (the same reason two processes get different selector streams).
+//
+// Sampling stays a pure function of (seed, process, stream index), so a
+// sharded run is bit-identical across experiment-runner thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "strategy/planner.hpp"
+#include "strategy/selector.hpp"
+
+namespace gqs {
+
+struct shard_plan_options {
+  std::size_t shards = 1;
+  /// Base seed; shard s samples from splitmix64(seed ⊕ (s+1)).
+  std::uint64_t selector_seed = 1;
+  planner_options planner;
+
+  void validate() const;
+};
+
+/// The planner's strategy plus its per-shard specialization.
+struct shard_plan {
+  plan_result base;                     ///< shared optimal strategy
+  std::vector<process_id> leaders;      ///< initial (view-1) leader per shard
+  std::vector<selector_ptr> selectors;  ///< per-shard decorrelated samplers
+
+  /// Number of shards led per process (the leader-duty distribution).
+  std::vector<std::uint64_t> leader_counts(process_id n) const;
+};
+
+/// Plans `options.shards` consensus groups over the GQS: one optimal
+/// strategy (shared), leaders assigned round-robin over processes in
+/// ascending planner-load order, and one seed-decorrelated selector per
+/// shard.
+shard_plan plan_shards(const generalized_quorum_system& gqs,
+                       const shard_plan_options& options);
+
+}  // namespace gqs

@@ -1,0 +1,64 @@
+// smr_workload.hpp — wiring the keyed workload drivers onto the sharded
+// SMR service: a canonical world builder plus the driver adapter, shared
+// by the SMR tests and bench_smr_throughput.
+//
+// The adapter satisfies the workload_driver contract (clients.hpp): a
+// write completes when the *submitting* replica applies the command at
+// its log position (the linearization point), a read completes with the
+// state at its own log position. Every completed operation therefore
+// sits inside a totally ordered log prefix, which is what the
+// linearizability checkers verify externally.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "smr/smr_service.hpp"
+#include "workload/clients.hpp"
+#include "workload/worlds.hpp"
+
+namespace gqs {
+
+/// workload_driver adapter over one smr_service replica per process.
+struct smr_adapter {
+  std::vector<smr_service*> nodes;
+
+  void write(process_id p, service_key key, reg_value x,
+             std::function<void(reg_version)> done) {
+    nodes[p]->submit_write(key, x, std::move(done));
+  }
+  void read(process_id p, service_key key,
+            std::function<void(reg_value, reg_version)> done) {
+    nodes[p]->submit_read(key, std::move(done));
+  }
+};
+
+/// One smr_service per process over a partially synchronous network (the
+/// consensus default), started and settled at time 0.
+struct smr_world {
+  simulation sim;
+  std::vector<smr_service*> nodes;
+
+  smr_world(const generalized_quorum_system& gqs, fault_plan faults,
+            std::uint64_t seed, service_key keys, smr_options options = {},
+            network_options net = consensus_world::partial_sync())
+      : sim(gqs.system_size(), net, std::move(faults), seed) {
+    for (process_id p = 0; p < gqs.system_size(); ++p) {
+      auto comp = std::make_unique<smr_service>(keys, quorum_config::of(gqs),
+                                                options);
+      nodes.push_back(comp.get());
+      sim.set_node(p, std::make_unique<single_host>(std::move(comp)));
+    }
+    sim.start();
+    sim.run_until(0);
+  }
+
+  smr_adapter adapter() { return smr_adapter{nodes}; }
+
+  std::vector<const smr_service*> replicas() const {
+    return {nodes.begin(), nodes.end()};
+  }
+};
+
+}  // namespace gqs

@@ -1,0 +1,79 @@
+// Unit tests for the shared single-decree acceptor register
+// (consensus/acceptor_core.hpp): the promise/accept state transitions and
+// the leader's value-adoption rule, which both consensus_node and the
+// sharded SMR service build on.
+#include <gtest/gtest.h>
+
+#include "consensus/acceptor_core.hpp"
+
+namespace gqs {
+namespace {
+
+TEST(AcceptorCore, InitialPromiseReportsBottom) {
+  acceptor_core<int> acc;
+  const auto rec = acc.promise(3);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->aview, 0u);
+  EXPECT_FALSE(rec->val.has_value());
+  EXPECT_EQ(acc.promised_view(), 3u);
+}
+
+TEST(AcceptorCore, StalePromiseRefused) {
+  acceptor_core<int> acc;
+  ASSERT_TRUE(acc.promise(5).has_value());
+  EXPECT_FALSE(acc.promise(4).has_value());
+  EXPECT_EQ(acc.promised_view(), 5u);  // unchanged by the refusal
+}
+
+TEST(AcceptorCore, RePromiseCurrentViewIsIdempotent) {
+  acceptor_core<int> acc;
+  ASSERT_TRUE(acc.promise(2).has_value());
+  ASSERT_TRUE(acc.accept(2, 42));
+  // A duplicate 1A (targeted copy + escalated broadcast) re-reports the
+  // same pair.
+  const auto rec = acc.promise(2);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->aview, 2u);
+  EXPECT_EQ(rec->val, std::optional<int>(42));
+}
+
+TEST(AcceptorCore, AcceptBelowPromiseRefused) {
+  acceptor_core<int> acc;
+  ASSERT_TRUE(acc.promise(7).has_value());
+  EXPECT_FALSE(acc.accept(6, 1));
+  EXPECT_FALSE(acc.accepted_value().has_value());
+  EXPECT_TRUE(acc.accept(7, 1));
+  EXPECT_EQ(acc.accepted_view(), 7u);
+  EXPECT_EQ(acc.accepted_value(), std::optional<int>(1));
+}
+
+TEST(AcceptorCore, AcceptAbovePromiseAdvancesPromise) {
+  acceptor_core<int> acc;
+  ASSERT_TRUE(acc.accept(4, 9));
+  EXPECT_EQ(acc.promised_view(), 4u);
+  // The implicit promise now refuses view 3.
+  EXPECT_FALSE(acc.promise(3).has_value());
+}
+
+TEST(AcceptorCore, AdoptHighestPicksMaxView) {
+  std::vector<accepted_rec<int>> reports = {
+      {0, std::nullopt}, {3, 30}, {5, 50}, {4, 40}};
+  EXPECT_EQ(adopt_highest(reports), std::optional<int>(50));
+}
+
+TEST(AcceptorCore, AdoptHighestAllBottomIsFree) {
+  std::vector<accepted_rec<int>> reports = {{0, std::nullopt},
+                                            {0, std::nullopt}};
+  EXPECT_FALSE(adopt_highest(reports).has_value());
+}
+
+TEST(AcceptorCore, AdoptHighestTieKeepsLaterReport) {
+  // Equal aviews carry equal values in a real run (one leader per view);
+  // the rule is still deterministic on ties: the later report wins, which
+  // matches the seed's process-id-ordered scan.
+  std::vector<accepted_rec<int>> reports = {{2, 20}, {2, 21}};
+  EXPECT_EQ(adopt_highest(reports), std::optional<int>(21));
+}
+
+}  // namespace
+}  // namespace gqs

@@ -45,6 +45,23 @@ TEST(LogCommand, PackUnpackRoundTrip) {
   }
 }
 
+TEST(LogCommand, PackBoundaryValuesRoundTrip) {
+  // The widest values each bit field can carry survive the round trip.
+  const log_command max{INT32_MAX, 0xffu, 0xffffffu};
+  EXPECT_EQ(log_command::unpack(max.pack()), max);
+  const log_command negative{INT32_MIN, 0xffu, 0xffffffu};
+  EXPECT_EQ(log_command::unpack(negative.pack()), negative);
+}
+
+TEST(LogCommand, PackOverflowThrowsInsteadOfAliasing) {
+  // One past each field's capacity: silent truncation would alias another
+  // command (wrong submitter / duplicate in the converged log).
+  log_command wide_submitter{1, 0x100u, 0};
+  EXPECT_THROW(wide_submitter.pack(), std::out_of_range);
+  log_command wide_seq{1, 0, 0x1000000u};
+  EXPECT_THROW(wide_seq.pack(), std::out_of_range);
+}
+
 TEST(ReplicatedLog, SingleSubmitterFillsSlotZero) {
   const auto fig = make_figure1();
   log_world w(fig.gqs, fault_plan::none(4), 1);

@@ -1,0 +1,276 @@
+// Tests for the sharded, pipelined SMR service (smr/smr_service.hpp):
+// commit and convergence over Figure-1 and threshold systems, command
+// forwarding, batching, sharding, lease-driven leader re-election after a
+// crash, retry-based exactly-once application, and strategy-targeted
+// phase quorums (fewer messages, identical outcomes, escalation as the
+// liveness fallback).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/factories.hpp"
+#include "strategy/planner.hpp"
+#include "strategy/shard_plan.hpp"
+#include "workload/smr_workload.hpp"
+
+namespace gqs {
+namespace {
+
+constexpr sim_time kLong = 600L * 1000 * 1000;  // 600 s
+
+/// Submits `count` writes from `proc` (keys round-robin) and counts
+/// completions at the submitting replica.
+struct submit_batch {
+  std::uint64_t completed = 0;
+
+  void fire(simulation& sim, smr_service* node, process_id proc,
+            service_key keys, std::uint64_t count, sim_time at = 0) {
+    sim.post_after(proc, at, [this, node, proc, keys, count] {
+      for (std::uint64_t i = 0; i < count; ++i)
+        node->submit_write(static_cast<service_key>(i % keys),
+                           pack_client_value(proc, i),
+                           [this](reg_version) { ++completed; });
+    });
+  }
+};
+
+/// Every replica applied the same log prefix per shard, covering at
+/// least `min_cmds` commands.
+bool converged(const smr_world& w, std::uint64_t min_cmds) {
+  for (std::size_t s = 0; s < w.nodes.front()->shard_count(); ++s) {
+    std::uint64_t lead = 0;
+    for (const smr_service* r : w.nodes)
+      lead = std::max(lead, r->applied_prefix(s));
+    for (const smr_service* r : w.nodes)
+      if (r->applied_prefix(s) != lead) return false;
+  }
+  for (const smr_service* r : w.nodes)
+    if (r->counters().commands_applied < min_cmds) return false;
+  return true;
+}
+
+TEST(SmrService, CommitsAndConvergesOnFigure1) {
+  const auto fig = make_figure1();
+  smr_world w(fig.gqs, fault_plan::none(4), /*seed=*/1, /*keys=*/8);
+  submit_batch a, b;
+  a.fire(w.sim, w.nodes[0], 0, 8, 16);
+  b.fire(w.sim, w.nodes[2], 2, 8, 16);
+  ASSERT_TRUE(w.sim.run_until_condition(
+      [&] { return a.completed == 16 && b.completed == 16; }, kLong));
+  // Let commits propagate to every passive learner.
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return converged(w, 32); }, kLong));
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+  // All replicas applied the identical log, so per-key states agree.
+  for (service_key k = 0; k < 8; ++k)
+    for (const smr_service* r : w.nodes)
+      EXPECT_EQ(r->state_of(k), w.nodes[0]->state_of(k)) << "key " << k;
+}
+
+TEST(SmrService, ShardsPartitionTheKeyspace) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  smr_options opts;
+  opts.shards = 4;
+  smr_world w(gqs, fault_plan::none(4), 2, /*keys=*/8, opts);
+  EXPECT_EQ(w.nodes[0]->shard_of(5), 5u % 4u);
+  submit_batch batch;
+  batch.fire(w.sim, w.nodes[1], 1, 8, 24);
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 24; },
+                                        kLong));
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return converged(w, 24); }, kLong));
+  // Every shard carried some of the keys (24 writes over 8 keys, keys
+  // round-robin over 4 shards).
+  for (std::size_t s = 0; s < 4; ++s)
+    EXPECT_GT(w.nodes[0]->applied_prefix(s), 0u) << "shard " << s;
+  // Default leader placement round-robins shards over processes.
+  EXPECT_EQ(w.nodes[0]->leader_of(0, 1), 0);
+  EXPECT_EQ(w.nodes[0]->leader_of(1, 1), 1);
+  EXPECT_EQ(w.nodes[0]->leader_of(3, 1), 3);
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+}
+
+TEST(SmrService, SameInstantCommandsShareOneEntry) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  smr_world w(gqs, fault_plan::none(4), 3, /*keys=*/4);
+  submit_batch batch;
+  // 32 commands submitted at the leader in one instant: the flush
+  // coalesces them into one batched entry — one Phase-2 round, not 32.
+  batch.fire(w.sim, w.nodes[0], 0, 4, 32);
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 32; },
+                                        kLong));
+  EXPECT_EQ(w.nodes[0]->counters().entries_proposed, 1u);
+  EXPECT_EQ(w.nodes[0]->counters().commands_applied, 32u);
+}
+
+TEST(SmrService, PipelineCapsInflightNotThroughput) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  smr_options opts;
+  opts.pipeline_window = 2;
+  opts.max_batch = 4;
+  smr_world w(gqs, fault_plan::none(4), 4, /*keys=*/4, opts);
+  submit_batch batch;
+  batch.fire(w.sim, w.nodes[0], 0, 4, 32);  // 8 entries through a window of 2
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 32; },
+                                        kLong));
+  EXPECT_EQ(w.nodes[0]->counters().entries_proposed, 8u);
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+}
+
+TEST(SmrService, NonLeaderSubmissionsForwardToLeader) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  smr_world w(gqs, fault_plan::none(4), 5, /*keys=*/4);
+  // Shard 0's initial leader is process 0; submit at process 3.
+  submit_batch batch;
+  batch.fire(w.sim, w.nodes[3], 3, 4, 8);
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 8; },
+                                        kLong));
+  EXPECT_EQ(w.nodes[3]->counters().commands_forwarded, 8u);
+  EXPECT_GE(w.nodes[0]->counters().entries_proposed, 1u);
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+}
+
+TEST(SmrService, LeaderCrashReElectsAndRecovers) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  // Process 0 leads shard 0 in view 1 and crashes mid-run.
+  auto faults = fault_plan::none(4);
+  faults.crash(0, 500000);
+  smr_world w(gqs, std::move(faults), 6, /*keys=*/4);
+  submit_batch before, after;
+  before.fire(w.sim, w.nodes[1], 1, 4, 4);
+  after.fire(w.sim, w.nodes[2], 2, 4, 4, /*at=*/1000000);  // post-crash
+  ASSERT_TRUE(w.sim.run_until_condition(
+      [&] { return before.completed == 4 && after.completed == 4; }, kLong));
+  // Survivors advanced past view 1 on lease expiry and re-elected.
+  EXPECT_GT(w.nodes[1]->view_of(0), 1u);
+  EXPECT_GT(w.nodes[1]->counters().view_changes +
+                w.nodes[2]->counters().view_changes +
+                w.nodes[3]->counters().view_changes,
+            0u);
+  std::vector<const smr_service*> survivors = {w.nodes[1], w.nodes[2],
+                                               w.nodes[3]};
+  EXPECT_TRUE(check_smr_agreement(survivors).linearizable);
+}
+
+TEST(SmrService, RetriesApplyExactlyOnce) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  smr_options opts;
+  // Resubmit far faster than the network settles: commands get forwarded
+  // multiple times and may land in several entries; the per-submitter
+  // sequence filters keep application exactly-once at every replica.
+  opts.resubmit_timeout = 15000;  // 15 ms, under the max network delay
+  smr_world w(gqs, fault_plan::none(4), 7, /*keys=*/4, opts);
+  submit_batch batch;
+  batch.fire(w.sim, w.nodes[3], 3, 4, 12);
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 12; },
+                                        kLong));
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return converged(w, 12); }, kLong));
+  std::uint64_t retries = 0;
+  for (const smr_service* r : w.nodes) retries += r->counters().retries;
+  EXPECT_GT(retries, 0u);
+  for (const smr_service* r : w.nodes)
+    EXPECT_EQ(r->counters().commands_applied, 12u)
+        << "replica applied a duplicate or lost a command";
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+}
+
+TEST(SmrService, TargetedPhasesMatchBroadcastWithFewerMessages) {
+  const auto gqs = threshold_quorum_system(8, 2);
+  const auto plan = plan_optimal(gqs);
+  auto run = [&](selector_ptr selector) {
+    smr_options opts;
+    opts.selector = std::move(selector);
+    smr_world w(gqs, fault_plan::none(8), 11, /*keys=*/8, opts);
+    submit_batch batch;
+    batch.fire(w.sim, w.nodes[2], 2, 8, 40);
+    EXPECT_TRUE(w.sim.run_until_condition(
+        [&] { return batch.completed == 40; }, kLong));
+    EXPECT_TRUE(
+        w.sim.run_until_condition([&] { return converged(w, 40); }, kLong));
+    std::map<service_key, reg_state> finals;
+    for (service_key k = 0; k < 8; ++k) finals[k] = w.nodes[0]->state_of(k);
+    EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+    return std::pair(finals, w.sim.metrics().messages_sent);
+  };
+  const auto [broadcast_finals, broadcast_msgs] = run(nullptr);
+  const auto sel =
+      std::make_shared<const quorum_selector>(plan.strategy, 0x5742);
+  const auto [targeted_finals, targeted_msgs] = run(sel);
+  EXPECT_EQ(broadcast_finals, targeted_finals);
+  EXPECT_LT(targeted_msgs, broadcast_msgs);
+}
+
+TEST(SmrService, EscalationRestoresLivenessUnderCrash) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  const auto plan = plan_optimal(gqs);
+  smr_options opts;
+  opts.selector = std::make_shared<const quorum_selector>(plan.strategy, 7);
+  // Process 3 is crashed from the start; targeted rounds that sample it
+  // stall until the escalation broadcast brings in the live members.
+  auto faults = fault_plan::none(4);
+  faults.crash(3, 0);
+  smr_world w(gqs, std::move(faults), 12, /*keys=*/4, opts);
+  submit_batch batch;
+  batch.fire(w.sim, w.nodes[0], 0, 4, 20);
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 20; },
+                                        kLong));
+  std::uint64_t escalations = 0;
+  for (const smr_service* r : w.nodes)
+    escalations += r->counters().escalations;
+  EXPECT_GT(escalations, 0u);
+  std::vector<const smr_service*> survivors = {w.nodes[0], w.nodes[1],
+                                               w.nodes[2]};
+  EXPECT_TRUE(check_smr_agreement(survivors).linearizable);
+}
+
+TEST(SmrService, PerShardPlansDecorrelateLeadersAndSelectors) {
+  const auto gqs = threshold_quorum_system(8, 2);
+  shard_plan_options opts;
+  opts.shards = 4;
+  const auto plan = plan_shards(gqs, opts);
+  ASSERT_EQ(plan.leaders.size(), 4u);
+  ASSERT_EQ(plan.selectors.size(), 4u);
+  // Leader duty spreads: no process leads more than ceil(shards / n)=1.
+  for (const std::uint64_t c : plan.leader_counts(8)) EXPECT_LE(c, 1u);
+  // Different shards draw decorrelated quorum streams.
+  bool differ = false;
+  for (std::uint64_t i = 0; i < 16 && !differ; ++i)
+    differ = !(plan.selectors[0]->sample_write(0, i) ==
+               plan.selectors[1]->sample_write(0, i));
+  EXPECT_TRUE(differ);
+
+  smr_options sopts;
+  sopts.shards = 4;
+  sopts.shard_selectors = plan.selectors;
+  sopts.leaders = plan.leaders;
+  smr_world w(gqs, fault_plan::none(8), 13, /*keys=*/8, sopts);
+  submit_batch batch;
+  batch.fire(w.sim, w.nodes[0], 0, 8, 32);
+  ASSERT_TRUE(w.sim.run_until_condition([&] { return batch.completed == 32; },
+                                        kLong));
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+}
+
+TEST(SmrService, OptionValidationRejectsBadConfigs) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  const auto config = quorum_config::of(gqs);
+  smr_options bad;
+  bad.shards = 0;
+  EXPECT_THROW(smr_service(4, config, bad), std::invalid_argument);
+  bad = {};
+  bad.pipeline_window = 0;
+  EXPECT_THROW(smr_service(4, config, bad), std::invalid_argument);
+  bad = {};
+  bad.heartbeat_period = bad.lease_duration;  // must undercut the lease
+  EXPECT_THROW(smr_service(4, config, bad), std::invalid_argument);
+  bad = {};
+  bad.leaders = {0, 1};  // two leaders for one shard
+  EXPECT_THROW(smr_service(4, config, bad), std::invalid_argument);
+  EXPECT_THROW(smr_service(0, config, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gqs
