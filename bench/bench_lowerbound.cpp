@@ -74,7 +74,7 @@ run_result absorption_row(double prob, int instances, std::uint64_t seed) {
     const auto witness = find_gqs(random_fail_prone_system(params, rng));
     if (!witness) continue;
     ++admitted;
-    int min_uf = 64;
+    int min_uf = static_cast<int>(process_set::max_processes);
     double mean_uf = 0;
     bool has_singleton = false;
     for (std::size_t k = 0; k < witness->max_termination.size(); ++k) {

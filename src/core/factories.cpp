@@ -1,5 +1,7 @@
 #include "core/factories.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace gqs {
@@ -18,7 +20,7 @@ std::vector<process_set> subsets_of_size(process_id n, int k) {
   std::uint64_t v = (std::uint64_t{1} << k) - 1;
   const std::uint64_t limit = std::uint64_t{1} << n;
   while (v < limit) {
-    result.emplace_back(v);
+    result.push_back(process_set::from_words({v}));
     const std::uint64_t t = v | (v - 1);
     v = (t + 1) | (((~t & (t + 1)) - 1) >> (std::countr_zero(v) + 1));
   }
@@ -102,6 +104,152 @@ figure1_system make_figure1() {
       generalized_quorum_system(std::move(fps), std::move(reads),
                                 std::move(writes)),
       figure1_names()};
+}
+
+fail_prone_system single_crash_fail_prone_system(process_id n) {
+  if (n < 2)
+    throw std::invalid_argument("single_crash_fail_prone_system: need n >= 2");
+  fail_prone_system fps(n);
+  for (process_id p = 0; p < n; ++p)
+    fps.add(failure_pattern(n, process_set::singleton(p), {}));
+  return fps;
+}
+
+namespace {
+
+/// The contiguous range {lo, ..., hi-1}.
+process_set id_range(process_id lo, process_id hi) {
+  process_set s;
+  for (process_id p = lo; p < hi; ++p) s.insert(p);
+  return s;
+}
+
+/// Row-block boundaries of the grid construction: k = n / ⌊√n⌋ blocks of
+/// size ⌊√n⌋ with the remainder merged into the last block (size √n..2√n−1,
+/// never a ragged tail block that a single crash could wipe out).
+struct grid_shape {
+  process_id block = 0;  ///< regular block size ⌊√n⌋
+  process_id k = 0;      ///< number of blocks
+
+  process_id lo(process_id i) const { return i * block; }
+  process_id hi(process_id i, process_id n) const {
+    return i + 1 == k ? n : (i + 1) * block;
+  }
+};
+
+grid_shape make_grid_shape(process_id n) {
+  grid_shape g;
+  g.block = static_cast<process_id>(
+      std::max(1.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  g.k = n / g.block;
+  return g;
+}
+
+/// Collects the 2-of-3 tree quorum with index digits `k` over the range
+/// [lo, hi): drop third (k % 3), recurse into the other two with k / 3.
+void tree_collect(process_id lo, process_id hi, std::uint64_t k,
+                  process_set& out) {
+  const process_id len = hi - lo;
+  if (len <= 2) {
+    for (process_id p = lo; p < hi; ++p) out.insert(p);
+    return;
+  }
+  const process_id m1 = lo + len / 3;
+  const process_id m2 = lo + (2 * len) / 3;
+  const process_id child_lo[3] = {lo, m1, m2};
+  const process_id child_hi[3] = {m1, m2, hi};
+  const std::uint64_t drop = k % 3;
+  for (std::uint64_t c = 0; c < 3; ++c)
+    if (c != drop) tree_collect(child_lo[c], child_hi[c], k / 3, out);
+}
+
+/// Levels until every range bottoms out (the last third is the largest).
+int tree_depth(process_id len) {
+  int d = 0;
+  while (len > 2) {
+    len = len - (2 * len) / 3;
+    ++d;
+  }
+  return d;
+}
+
+}  // namespace
+
+generalized_quorum_system grid_quorum_system(process_id n) {
+  if (n < 4)
+    throw std::invalid_argument("grid_quorum_system: need n >= 4");
+  const grid_shape g = make_grid_shape(n);
+
+  quorum_family rows;
+  rows.reserve(g.k);
+  for (process_id i = 0; i < g.k; ++i)
+    rows.push_back(id_range(g.lo(i), g.hi(i, n)));
+
+  // Columns: one transversal per position of the widest (last) block.
+  const process_id columns = g.hi(g.k - 1, n) - g.lo(g.k - 1);
+  quorum_family cols;
+  cols.reserve(columns);
+  for (process_id j = 0; j < columns; ++j) {
+    process_set col;
+    for (process_id i = 0; i < g.k; ++i) {
+      const process_id size = g.hi(i, n) - g.lo(i);
+      col.insert(g.lo(i) + j % size);
+    }
+    cols.push_back(col);
+  }
+  return generalized_quorum_system(single_crash_fail_prone_system(n),
+                                   std::move(rows), std::move(cols));
+}
+
+generalized_quorum_system tree_quorum_system(process_id n) {
+  if (n < 3)
+    throw std::invalid_argument("tree_quorum_system: need n >= 3");
+  const int depth = tree_depth(n);
+  std::uint64_t count = 1;
+  for (int d = 0; d < depth; ++d) count *= 3;
+
+  quorum_family family;
+  family.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    process_set q;
+    tree_collect(0, n, k, q);
+    family.push_back(q);
+  }
+  // Subtrees that bottom out early ignore their remaining digits, so the
+  // enumeration repeats quorums; dedup keeps the planner's support tight.
+  std::sort(family.begin(), family.end());
+  family.erase(std::unique(family.begin(), family.end()), family.end());
+
+  quorum_family reads = family;
+  return generalized_quorum_system(single_crash_fail_prone_system(n),
+                                   std::move(reads), std::move(family));
+}
+
+generalized_quorum_system hierarchical_quorum_system(process_id n) {
+  if (n < 4)
+    throw std::invalid_argument("hierarchical_quorum_system: need n >= 4");
+  const process_id s = static_cast<process_id>(
+      std::max(2.0, std::floor(std::sqrt(static_cast<double>(n)))));
+  // Balanced contiguous clusters via integer boundaries c·n/s.
+  auto cluster_lo = [&](process_id c) { return c * n / s; };
+  auto cluster_hi = [&](process_id c) { return (c + 1) * n / s; };
+
+  quorum_family family;
+  family.reserve(2 * s);
+  for (process_id q = 0; q < s; ++q) {
+    for (process_id t = 0; t < 2; ++t) {
+      process_set quorum = id_range(cluster_lo(q), cluster_hi(q));
+      for (process_id c = 0; c < s; ++c) {
+        if (c == q) continue;
+        const process_id size = cluster_hi(c) - cluster_lo(c);
+        quorum.insert(cluster_lo(c) + (q + t) % size);
+      }
+      family.push_back(quorum);
+    }
+  }
+  quorum_family reads = family;
+  return generalized_quorum_system(single_crash_fail_prone_system(n),
+                                   std::move(reads), std::move(family));
 }
 
 fail_prone_system make_example9_variant() {

@@ -111,7 +111,10 @@ fail_prone_system parse_fail_prone_system(const std::string& text) {
       if (n) throw parse_error(line_number, "duplicate 'system' declaration");
       const unsigned size = s.parse_number();
       if (size == 0 || size > process_set::max_processes)
-        throw parse_error(line_number, "system size out of range [1, 64]");
+        throw parse_error(line_number,
+                          "system size out of range [1, " +
+                              std::to_string(process_set::max_processes) +
+                              "]");
       n = static_cast<process_id>(size);
       if (!s.at_end())
         throw parse_error(line_number, "trailing text after system size");

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <bit>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -14,41 +13,46 @@ namespace gqs {
 
 namespace {
 
-/// Allocation-free Tarjan over a 64-vertex adjacency-mask array; emits
+/// Allocation-light Tarjan over process_set adjacency rows; emits
 /// components into `out` in reverse topological order (sinks first), the
-/// same contract as digraph::sccs(). Everything lives in fixed arrays —
-/// table construction is the hot path of every existence decision and the
-/// general digraph implementation spends most of its time in small-vector
-/// churn at these sizes.
+/// same contract as digraph::sccs(). Scratch is sized to the pattern's
+/// system size once — table construction is the hot path of every
+/// existence decision and the general digraph implementation spends most
+/// of its time in small-vector churn at these sizes.
 struct scc_scratch {
-  static constexpr process_id cap = process_set::max_processes;
-  std::array<std::uint64_t, cap> adj{};
-  std::array<int, cap> index{};
-  std::array<int, cap> lowlink{};
-  std::array<bool, cap> on_stack{};
-  std::array<process_id, cap> stack{};
+  std::vector<process_set> adj;
+  std::size_t nw;  // prefix word budget: all sets live in {0..n-1}
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<char> on_stack;
+  std::vector<process_id> stack;
   struct frame {
     process_id v;
-    std::uint64_t remaining;
+    process_set remaining;
   };
-  std::array<frame, cap> dfs{};
+  std::vector<frame> dfs;
   int sp = 0, fp = 0, next_index = 0;
 
-  void run(process_id root, std::uint64_t live,
+  explicit scc_scratch(process_id n)
+      : adj(n), nw(process_set::words_for(n)), index(n, -1), lowlink(n, 0),
+        on_stack(n, 0), stack(n), dfs(n) {}
+
+  void run(process_id root, const process_set& live,
            std::vector<process_set>& out) {
     auto open = [&](process_id v) {
       index[v] = lowlink[v] = next_index++;
-      stack[sp++] = v;
-      on_stack[v] = true;
-      dfs[fp++] = {v, adj[v] & live};
+      stack[static_cast<std::size_t>(sp++)] = v;
+      on_stack[v] = 1;
+      frame& f = dfs[static_cast<std::size_t>(fp++)];
+      f.v = v;
+      f.remaining = adj[v];
+      f.remaining.and_with(live, nw);
     };
     open(root);
     while (fp > 0) {
-      frame& top = dfs[fp - 1];
-      if (top.remaining != 0) {
-        const process_id w =
-            static_cast<process_id>(std::countr_zero(top.remaining));
-        top.remaining &= top.remaining - 1;
+      frame& top = dfs[static_cast<std::size_t>(fp - 1)];
+      if (!top.remaining.empty(nw)) {
+        const process_id w = top.remaining.take_first(nw);
         if (index[w] < 0) {
           open(w);
         } else if (on_stack[w]) {
@@ -57,15 +61,16 @@ struct scc_scratch {
       } else {
         const process_id v = top.v;
         --fp;
-        if (fp > 0)
-          lowlink[dfs[fp - 1].v] = std::min(lowlink[dfs[fp - 1].v],
-                                            lowlink[v]);
+        if (fp > 0) {
+          frame& parent = dfs[static_cast<std::size_t>(fp - 1)];
+          lowlink[parent.v] = std::min(lowlink[parent.v], lowlink[v]);
+        }
         if (lowlink[v] == index[v]) {
           process_set component;
           process_id w;
           do {
-            w = stack[--sp];
-            on_stack[w] = false;
+            w = stack[static_cast<std::size_t>(--sp)];
+            on_stack[w] = 0;
             component.insert(w);
           } while (w != v);
           out.push_back(component);
@@ -76,27 +81,32 @@ struct scc_scratch {
 };
 
 /// Fills `t` for one pattern without the by-value return (the solver
-/// constructs its tables in place; the ~1 KiB per-vertex arrays make the
+/// constructs its tables in place; the per-vertex closure vectors make the
 /// move visible at corpus scale).
 void build_pattern_table_into(const failure_pattern& f, pattern_table& t) {
+  const process_id n = f.system_size();
   t.correct = f.correct();
-  const std::uint64_t live = t.correct.mask();
+  t.reach_from.assign(n, process_set{});
+  t.scc.assign(n, process_set{});
 
-  // Residual adjacency straight from masks: the complete graph restricted
+  // Residual adjacency straight from sets: the complete graph restricted
   // to correct processes, minus the pattern's faulty channels. No digraph
-  // object, no allocation.
-  scc_scratch scratch;
+  // object, no per-edge allocation; prefix-bounded word ops throughout
+  // (every set lives in {0..n-1}).
+  scc_scratch scratch(n);
+  const std::size_t nw = scratch.nw;
   const digraph& faulty = f.faulty_channels();
   for (process_id v : t.correct) {
-    scratch.adj[v] = live & ~(std::uint64_t{1} << v) &
-                     ~faulty.out_neighbors(v).mask();
-    scratch.index[v] = -1;
+    process_set row = t.correct;
+    row.erase(v);
+    row.subtract(faulty.out_neighbors(v), nw);
+    scratch.adj[v] = row;
   }
 
   std::vector<process_set> components;
-  components.reserve(t.correct.size());
+  components.reserve(static_cast<std::size_t>(t.correct.size()));
   for (process_id v : t.correct)
-    if (scratch.index[v] < 0) scratch.run(v, live, components);
+    if (scratch.index[v] < 0) scratch.run(v, t.correct, components);
 
   // Both reachability closures ride the condensation DAG: components
   // arrive sinks first, so one forward sweep unions each component's
@@ -105,18 +115,20 @@ void build_pattern_table_into(const failure_pattern& f, pattern_table& t) {
   // strongly connected S, "reaches all of S" ≡ "reaches any of S"). Both
   // are O(edges) word operations, where the seed redid a BFS per
   // (vertex, component) pair — cubic on chain-shaped residuals.
-  std::array<std::uint8_t, scc_scratch::cap> comp_of{};
+  std::vector<std::uint16_t> comp_of(n, 0);
   for (std::size_t idx = 0; idx < components.size(); ++idx)
     for (process_id v : components[idx])
-      comp_of[v] = static_cast<std::uint8_t>(idx);
-  std::array<process_set, scc_scratch::cap> comp_reach{};
-  std::array<process_set, scc_scratch::cap> comp_reaching{};
+      comp_of[v] = static_cast<std::uint16_t>(idx);
+  std::vector<process_set> comp_reach(components.size());
+  std::vector<process_set> comp_reaching(components.size());
   for (std::size_t idx = 0; idx < components.size(); ++idx) {
     const process_set comp = components[idx];
     process_set r = comp;
-    for (process_id v : comp)
-      for (process_id w : process_set(scratch.adj[v]) - comp)
-        r |= comp_reach[comp_of[w]];
+    for (process_id v : comp) {
+      process_set external = scratch.adj[v];
+      external.subtract(comp, nw);
+      for (process_id w : external) r.or_with(comp_reach[comp_of[w]], nw);
+    }
     comp_reach[idx] = r;
     comp_reaching[idx] = comp;
     for (process_id v : comp) {
@@ -127,22 +139,28 @@ void build_pattern_table_into(const failure_pattern& f, pattern_table& t) {
   for (std::size_t idx = components.size(); idx-- > 0;) {
     const process_set comp = components[idx];
     const process_set reaching = comp_reaching[idx];  // now complete
-    for (process_id v : comp)
-      for (process_id w : process_set(scratch.adj[v]) - comp)
-        comp_reaching[comp_of[w]] |= reaching;
+    for (process_id v : comp) {
+      process_set external = scratch.adj[v];
+      external.subtract(comp, nw);
+      for (process_id w : external)
+        comp_reaching[comp_of[w]].or_with(reaching, nw);
+    }
   }
 
-  // Sort candidates (size descending, mask as the deterministic
-  // tie-break) and carry each component's reach_to along.
-  std::array<std::uint8_t, scc_scratch::cap> order{};
-  for (std::size_t idx = 0; idx < components.size(); ++idx)
-    order[idx] = static_cast<std::uint8_t>(idx);
-  std::sort(order.begin(), order.begin() + components.size(),
-            [&](std::uint8_t a, std::uint8_t b) {
-              const process_set& ca = components[a];
-              const process_set& cb = components[b];
-              return ca.size() != cb.size() ? ca.size() > cb.size()
-                                            : ca.mask() < cb.mask();
+  // Sort candidates (size descending, set value as the deterministic
+  // tie-break) and carry each component's reach_to along. Sizes are
+  // precomputed once outside the comparator: an O(W) popcount per probe
+  // dominates the sort at W > 1.
+  std::vector<std::uint16_t> order(components.size());
+  std::vector<std::uint16_t> sizes(components.size());
+  for (std::size_t idx = 0; idx < components.size(); ++idx) {
+    order[idx] = static_cast<std::uint16_t>(idx);
+    sizes[idx] = static_cast<std::uint16_t>(components[idx].size(nw));
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint16_t a, std::uint16_t b) {
+              return sizes[a] != sizes[b] ? sizes[a] > sizes[b]
+                                          : components[a] < components[b];
             });
   t.components.reserve(components.size());
   t.reach_to.reserve(components.size());
@@ -154,19 +172,26 @@ void build_pattern_table_into(const failure_pattern& f, pattern_table& t) {
 
 constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
 
-/// Mask over candidates j of pattern b compatible with candidate i of
+/// Candidate-index set type: bit i = candidate i of some pattern. A
+/// residual graph has at most n ≤ process_set::max_processes SCCs, so
+/// process_set doubles as the domain representation.
+using candidate_set = process_set;
+
+/// Set over candidates j of pattern b compatible with candidate i of
 /// pattern a, computed directly from the tables (the stage-1 path; stage 2
 /// reads the same values out of the prebuilt matrix).
-std::uint64_t compute_row(const std::vector<pattern_table>& tables,
+candidate_set compute_row(const std::vector<pattern_table>& tables,
                           std::size_t a, std::size_t i, std::size_t b) {
   const pattern_table& ta = tables[a];
   const pattern_table& tb = tables[b];
-  std::uint64_t row = 0;
+  const std::size_t nw = process_set::words_for(
+      static_cast<process_id>(ta.reach_from.size()));
+  candidate_set row;
   for (std::size_t j = 0; j < tb.components.size(); ++j) {
     // Consistency both ways: reach(S_a) ∩ S_b and reach(S_b) ∩ S_a.
-    if (ta.reach_to[i].intersects(tb.components[j]) &&
-        tb.reach_to[j].intersects(ta.components[i]))
-      row |= std::uint64_t{1} << j;
+    if (ta.reach_to[i].intersects(tb.components[j], nw) &&
+        tb.reach_to[j].intersects(ta.components[i], nw))
+      row.insert(static_cast<process_id>(j));
   }
   return row;
 }
@@ -177,7 +202,8 @@ std::uint64_t compute_row(const std::vector<pattern_table>& tables,
 /// branches look them up in the completed bitmatrix.
 struct dfs_engine {
   const std::vector<pattern_table>& tables;
-  const std::uint64_t* matrix;  // [a][b][i] -> mask over j, stride 64
+  const candidate_set* matrix;  // [a][b][i] -> set over j, given stride
+  std::size_t stride;           // candidate slots per (a, b) block
   std::size_t m;
   bool forward_checking;
   bool most_constrained_first;
@@ -192,31 +218,44 @@ struct dfs_engine {
   std::uint64_t nodes = 0;
   std::uint64_t prunes = 0;
   bool out_of_budget = false;
-  std::vector<std::uint64_t> dom;   // (m + 1) rows of m domains
+  std::size_t nw = 1;  // word budget of process-id sets ({0..n-1})
+  std::size_t cw = 1;  // word budget of candidate-index sets
+  std::vector<candidate_set> dom;   // (m + 1) rows of m domains
   std::vector<std::size_t> choice;  // candidate index per pattern
   std::vector<char> assigned;
 
   dfs_engine(const std::vector<pattern_table>& pattern_tables,
-             const std::uint64_t* compat_matrix, bool forward, bool mrv)
+             const candidate_set* compat_matrix, std::size_t compat_stride,
+             bool forward, bool mrv)
       : tables(pattern_tables),
         matrix(compat_matrix),
+        stride(compat_stride),
         m(pattern_tables.size()),
         forward_checking(forward),
         most_constrained_first(mrv),
-        dom((m + 1) * m, 0),
+        dom((m + 1) * m),
         choice(m, npos),
-        assigned(m, 0) {}
+        assigned(m, 0) {
+    nw = process_set::words_for(
+        static_cast<process_id>(tables.front().reach_from.size()));
+    std::size_t max_candidates = 1;
+    for (const pattern_table& t : tables)
+      max_candidates = std::max(max_candidates, t.components.size());
+    cw = candidate_set::words_for(static_cast<process_id>(max_candidates));
+  }
 
-  std::uint64_t row(std::size_t a, std::size_t i, std::size_t b) const {
-    return matrix ? matrix[(a * m + b) * 64 + i]
+  candidate_set row(std::size_t a, std::size_t i, std::size_t b) const {
+    return matrix ? matrix[(a * m + b) * stride + i]
                   : compute_row(tables, a, i, b);
   }
 
   bool pair_ok(std::size_t a, std::size_t i, std::size_t b,
                std::size_t j) const {
-    if (matrix) return (matrix[(a * m + b) * 64 + i] >> j) & 1;
-    return tables[a].reach_to[i].intersects(tables[b].components[j]) &&
-           tables[b].reach_to[j].intersects(tables[a].components[i]);
+    if (matrix)
+      return matrix[(a * m + b) * stride + i].test(
+          static_cast<process_id>(j));
+    return tables[a].reach_to[i].intersects(tables[b].components[j], nw) &&
+           tables[b].reach_to[j].intersects(tables[a].components[i], nw);
   }
 
   bool abandoned() const {
@@ -233,17 +272,18 @@ struct dfs_engine {
       out_of_budget = true;
       return false;
     }
-    const std::uint64_t* cur = &dom[depth * m];
-    std::uint64_t* next = &dom[(depth + 1) * m];
+    const candidate_set* cur = &dom[depth * m];
+    candidate_set* next = &dom[(depth + 1) * m];
     if (forward_checking) {
       for (std::size_t q = 0; q < m; ++q) {
         if (q == p) {
-          next[q] = std::uint64_t{1} << i;
+          next[q] = candidate_set::singleton(static_cast<process_id>(i));
         } else if (assigned[q]) {
           next[q] = cur[q];
         } else {
-          next[q] = cur[q] & row(p, i, q);
-          if (next[q] == 0) {
+          next[q] = cur[q];
+          next[q].and_with(row(p, i, q), cw);
+          if (next[q].empty(cw)) {
             ++prunes;
             return false;
           }
@@ -255,7 +295,7 @@ struct dfs_engine {
       for (std::size_t q = 0; q < m; ++q)
         if (assigned[q] && !pair_ok(q, choice[q], p, i)) return false;
       std::copy(cur, cur + m, next);
-      next[p] = std::uint64_t{1} << i;
+      next[p] = candidate_set::singleton(static_cast<process_id>(i));
     }
     return true;
   }
@@ -263,7 +303,7 @@ struct dfs_engine {
   bool dfs(std::size_t depth) {
     if (depth == m) return true;
     if (out_of_budget || abandoned()) return false;
-    const std::uint64_t* cur = &dom[depth * m];
+    const candidate_set* cur = &dom[depth * m];
     // Variable ordering: smallest remaining domain first (ties break to
     // the lowest pattern index), or plain index order when disabled.
     std::size_t p = npos;
@@ -274,15 +314,15 @@ struct dfs_engine {
         p = q;
         break;
       }
-      const int c = std::popcount(cur[q]);
+      const int c = cur[q].size();
       if (c < best_count) {
         best_count = c;
         p = q;
       }
     }
-    for (std::uint64_t d = cur[p]; d != 0; d &= d - 1) {
-      const std::size_t i =
-          static_cast<std::size_t>(std::countr_zero(d));
+    // The iterator snapshots the domain's words, so assignments below
+    // (which only write deeper rows) cannot perturb the loop.
+    for (process_id i : cur[p]) {
       if (!assign(depth, p, i)) {
         if (out_of_budget) return false;
         continue;
@@ -297,14 +337,14 @@ struct dfs_engine {
   }
 
   /// Stage 1: full search from scratch under the node budget.
-  bool solve(const std::vector<std::uint64_t>& domains) {
+  bool solve(const std::vector<candidate_set>& domains) {
     std::copy(domains.begin(), domains.end(), dom.begin());
     return dfs(0);
   }
 
   /// Stage-2 branch: pattern p0 fixed to candidate i0, then a full search
   /// below it. On success `choice` holds the assignment.
-  bool run(const std::vector<std::uint64_t>& domains, std::size_t p0,
+  bool run(const std::vector<candidate_set>& domains, std::size_t p0,
            std::size_t i0) {
     std::copy(domains.begin(), domains.end(), dom.begin());
     if (!assign(0, p0, i0)) return false;
@@ -347,37 +387,40 @@ existence_solver::existence_solver(const fail_prone_system& fps,
   for (std::size_t k = 0; k < fps_.size(); ++k)
     build_pattern_table_into(fps_[k], tables_[k]);
 
-  domains_.assign(tables_.size(), 0);
+  domains_.assign(tables_.size(), process_set{});
+  const std::size_t nw = process_set::words_for(fps_.system_size());
   for (std::size_t p = 0; p < tables_.size(); ++p) {
     const pattern_table& t = tables_[p];
     for (std::size_t i = 0; i < t.components.size(); ++i)
-      if (t.reach_to[i].intersects(t.components[i]))  // self-consistency
-        domains_[p] |= std::uint64_t{1} << i;
-    if (domains_[p] == 0) empty_domain_ = true;
+      if (t.reach_to[i].intersects(t.components[i], nw))  // self-consistency
+        domains_[p].insert(static_cast<process_id>(i));
+    if (domains_[p].empty()) empty_domain_ = true;
   }
   if (empty_domain_) stats_.unsat_by_preprocessing = true;
 }
 
-std::uint64_t existence_solver::compat_row(std::size_t a, std::size_t i,
-                                           std::size_t b) const {
-  return compat_.empty() ? compute_row(tables_, a, i, b)
-                         : compat_[(a * tables_.size() + b) * 64 + i];
+process_set existence_solver::compat_row(std::size_t a, std::size_t i,
+                                         std::size_t b) const {
+  return compat_.empty()
+             ? compute_row(tables_, a, i, b)
+             : compat_[(a * tables_.size() + b) * compat_stride_ + i];
 }
 
 void existence_solver::build_compat() {
   if (!compat_.empty()) return;
   const std::size_t m = tables_.size();
-  compat_.assign(m * m * 64, 0);
+  compat_stride_ = 1;
+  for (const pattern_table& t : tables_)
+    compat_stride_ = std::max(compat_stride_, t.components.size());
+  compat_.assign(m * m * compat_stride_, process_set{});
   for (std::size_t a = 0; a < m; ++a) {
     for (std::size_t b = a + 1; b < m; ++b) {
       for (std::size_t i = 0; i < tables_[a].components.size(); ++i) {
-        const std::uint64_t row = compute_row(tables_, a, i, b);
-        compat_[(a * m + b) * 64 + i] = row;
-        for (std::uint64_t r = row; r != 0; r &= r - 1) {
-          const std::size_t j =
-              static_cast<std::size_t>(std::countr_zero(r));
-          compat_[(b * m + a) * 64 + j] |= std::uint64_t{1} << i;
-        }
+        const process_set row = compute_row(tables_, a, i, b);
+        compat_[(a * m + b) * compat_stride_ + i] = row;
+        for (process_id j : row)
+          compat_[(b * m + a) * compat_stride_ + j].insert(
+              static_cast<process_id>(i));
       }
     }
   }
@@ -385,26 +428,30 @@ void existence_solver::build_compat() {
 
 void existence_solver::propagate_arc_consistency() {
   const std::size_t m = tables_.size();
+  std::size_t max_candidates = 1;
+  for (const pattern_table& t : tables_)
+    max_candidates = std::max(max_candidates, t.components.size());
+  const std::size_t cw =
+      process_set::words_for(static_cast<process_id>(max_candidates));
   bool changed = true;
   while (changed && !empty_domain_) {
     changed = false;
     for (std::size_t a = 0; a < m; ++a) {
-      for (std::uint64_t d = domains_[a]; d != 0; d &= d - 1) {
-        const std::size_t i =
-            static_cast<std::size_t>(std::countr_zero(d));
+      const process_set snapshot = domains_[a];
+      for (process_id i : snapshot) {
         for (std::size_t b = 0; b < m; ++b) {
           if (b == a) continue;
-          if ((compat_row(a, i, b) & domains_[b]) == 0) {
+          if (!compat_row(a, i, b).intersects(domains_[b], cw)) {
             // Candidate i has no surviving support in pattern b: no full
             // assignment can use it.
-            domains_[a] &= ~(std::uint64_t{1} << i);
+            domains_[a].erase(i);
             ++stats_.arc_prunes;
             changed = true;
             break;
           }
         }
       }
-      if (domains_[a] == 0) {
+      if (domains_[a].empty()) {
         empty_domain_ = true;
         stats_.unsat_by_preprocessing = true;
         return;
@@ -422,7 +469,7 @@ std::optional<std::vector<std::size_t>> existence_solver::search(
   // With the escalation disabled the budget is unlimited and this *is*
   // the search.
   {
-    dfs_engine engine(tables_, nullptr, opts_.forward_checking,
+    dfs_engine engine(tables_, nullptr, 0, opts_.forward_checking,
                       opts_.most_constrained_first);
     if (opts_.arc_consistency)
       engine.budget = opts_.stage1_node_budget != 0
@@ -446,7 +493,7 @@ std::optional<std::vector<std::size_t>> existence_solver::search(
   if (opts_.most_constrained_first) {
     int best_count = std::numeric_limits<int>::max();
     for (std::size_t q = 0; q < m; ++q) {
-      const int c = std::popcount(domains_[q]);
+      const int c = domains_[q].size();
       if (c < best_count) {
         best_count = c;
         p0 = q;
@@ -454,15 +501,16 @@ std::optional<std::vector<std::size_t>> existence_solver::search(
     }
   }
   std::vector<std::size_t> candidates;
-  for (std::uint64_t d = domains_[p0]; d != 0; d &= d - 1)
-    candidates.push_back(static_cast<std::size_t>(std::countr_zero(d)));
+  for (process_id i : domains_[p0])
+    candidates.push_back(static_cast<std::size_t>(i));
   stats_.branches += candidates.size();
 
   if (threads_ <= 1 || candidates.size() <= 1) {
     // Sequential: branches run in ascending candidate order, so the first
     // success is the lowest branch index by construction.
     for (std::size_t i : candidates) {
-      dfs_engine engine(tables_, compat_.data(), opts_.forward_checking,
+      dfs_engine engine(tables_, compat_.data(), compat_stride_,
+                        opts_.forward_checking,
                         opts_.most_constrained_first);
       const bool hit = engine.run(domains_, p0, i);
       stats_.nodes += engine.nodes;
@@ -485,7 +533,7 @@ std::optional<std::vector<std::size_t>> existence_solver::search(
   for (std::size_t k = 0; k < candidates.size(); ++k) {
     specs.push_back(
         {"branch" + std::to_string(k), [&, k] {
-           dfs_engine engine(tables_, compat_.data(),
+           dfs_engine engine(tables_, compat_.data(), compat_stride_,
                              opts_.forward_checking,
                              opts_.most_constrained_first);
            engine.best = &best;

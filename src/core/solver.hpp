@@ -6,15 +6,15 @@
 // implementation solved it with plain backtracking whose inner loop
 // re-tested set intersections against every assigned pattern; this
 // subsystem precomputes everything the search needs once and turns the hot
-// path into single-word bit operations:
+// path into word-parallel bit operations:
 //
 //   * per-pattern candidate tables (pattern_table): all SCCs of G \ f,
-//     their reach-to closures, and per-vertex reachability/SCC masks,
+//     their reach-to closures, and per-vertex reachability/SCC sets,
 //     computed once per pattern;
 //   * an |F| × |F| pairwise-compatibility bitmatrix: for pattern a,
-//     candidate i, pattern b, a 64-bit mask of the candidates j of b that
-//     are mutually consistent with (a, i) — the search tests compatibility
-//     with one AND;
+//     candidate i, pattern b, a candidate-index set of the candidates j of
+//     b that are mutually consistent with (a, i) — the search tests
+//     compatibility with O(words) ANDs;
 //   * conflict-driven pruning: most-constrained-pattern-first
 //     (minimum-remaining-values) variable ordering, forward checking that
 //     intersects the domains of all unassigned patterns after each
@@ -44,11 +44,11 @@
 // depends on threading.
 //
 // Candidate counts are bounded by the SCC count of a residual graph, which
-// is at most n ≤ 64 (process_set::max_processes) — so every domain is one
-// machine word.
+// is at most n ≤ process_set::max_processes — so candidate domains and
+// compatibility rows reuse process_set itself as a fixed-width index set
+// (bit i = candidate i), keeping the hot path allocation-free.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -64,7 +64,7 @@ struct pattern_table {
   process_set correct;  ///< processes correct under f
 
   /// Candidate write quorums: the SCCs of G \ f, sorted by size descending
-  /// (larger components intersect more easily) with the bitmask value as a
+  /// (larger components intersect more easily) with the set value as a
   /// deterministic tie-break.
   std::vector<process_set> components;
 
@@ -73,13 +73,13 @@ struct pattern_table {
   std::vector<process_set> reach_to;
 
   /// Per-vertex reachability closure in G \ f: reach_from[v] is the set of
-  /// vertices reachable from v (empty for crashed v). Indexed by vertex;
-  /// fixed-capacity so table construction stays allocation-light.
-  std::array<process_set, process_set::max_processes> reach_from{};
+  /// vertices reachable from v (empty for crashed v). Indexed by vertex,
+  /// sized to the pattern's system size.
+  std::vector<process_set> reach_from;
 
   /// Per-vertex SCC membership in G \ f: scc[v] is the component
   /// containing v (empty for crashed v). Indexed by vertex.
-  std::array<process_set, process_set::max_processes> scc{};
+  std::vector<process_set> scc;
 };
 
 /// Builds the candidate table of one pattern. Cost: one residual graph,
@@ -159,8 +159,7 @@ class existence_solver {
   unsigned threads() const noexcept { return threads_; }
 
  private:
-  std::uint64_t compat_row(std::size_t a, std::size_t i,
-                           std::size_t b) const;
+  process_set compat_row(std::size_t a, std::size_t i, std::size_t b) const;
   void build_compat();  // the full bitmatrix, stage 2 only
   void propagate_arc_consistency();
   std::optional<std::vector<std::size_t>> search(bool deterministic);
@@ -171,8 +170,12 @@ class existence_solver {
   solver_options opts_;
   unsigned threads_ = 1;
   std::vector<pattern_table> tables_;
-  std::vector<std::uint64_t> compat_;   // stage 2: [a][b][i] -> mask over j
-  std::vector<std::uint64_t> domains_;  // per pattern; shrunk by stage-2 AC
+  // Stage 2 only: compat_[(a*m + b)*stride + i] is the candidate-index set
+  // over j. The stride is the largest candidate count across patterns, so
+  // single-crash corpora (one SCC per pattern) stay tiny.
+  std::vector<process_set> compat_;
+  std::size_t compat_stride_ = 0;
+  std::vector<process_set> domains_;  // per pattern; shrunk by stage-2 AC
   solver_stats stats_;
   bool empty_domain_ = false;  // some pattern has no viable candidate
 };

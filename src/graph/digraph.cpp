@@ -6,23 +6,22 @@
 namespace gqs {
 
 digraph::digraph(process_id n)
-    : n_(n), present_(process_set::full(n)), out_(n, 0), in_(n, 0) {}
+    : n_(n), present_(process_set::full(n)), out_(n), in_(n) {}
 
 digraph digraph::complete(process_id n) {
   digraph g(n);
-  const std::uint64_t all = process_set::full(n).mask();
+  const process_set all = process_set::full(n);
   for (process_id v = 0; v < n; ++v) {
-    g.out_[v] = all & ~(std::uint64_t{1} << v);
+    g.out_[v] = all - process_set::singleton(v);
     g.in_[v] = g.out_[v];
   }
   return g;
 }
 
 void digraph::rebuild_in() {
-  in_.assign(n_, 0);
+  in_.assign(n_, process_set{});
   for (process_id u = 0; u < n_; ++u)
-    for (process_set succ(out_[u]); process_id v : succ)
-      in_[v] |= std::uint64_t{1} << u;
+    for (process_id v : out_[u]) in_[v].insert(u);
 }
 
 void digraph::check_vertex(process_id v) const {
@@ -31,8 +30,7 @@ void digraph::check_vertex(process_id v) const {
 
 int digraph::edge_count() const {
   int total = 0;
-  for (process_id v : present_)
-    total += (process_set(out_[v]) & present_).size();
+  for (process_id v : present_) total += (out_[v] & present_).size();
   return total;
 }
 
@@ -40,34 +38,34 @@ void digraph::add_edge(process_id from, process_id to) {
   check_vertex(from);
   check_vertex(to);
   if (from == to) throw std::invalid_argument("digraph: self-loop");
-  out_[from] |= std::uint64_t{1} << to;
-  in_[to] |= std::uint64_t{1} << from;
+  out_[from].insert(to);
+  in_[to].insert(from);
 }
 
 void digraph::remove_edge(process_id from, process_id to) {
   check_vertex(from);
   check_vertex(to);
-  out_[from] &= ~(std::uint64_t{1} << to);
-  in_[to] &= ~(std::uint64_t{1} << from);
+  out_[from].erase(to);
+  in_[to].erase(from);
 }
 
 bool digraph::has_edge(process_id from, process_id to) const {
   check_vertex(from);
   check_vertex(to);
-  if (!present_.contains(from) || !present_.contains(to)) return false;
-  return (out_[from] >> to) & 1u;
+  if (!present_.test(from) || !present_.test(to)) return false;
+  return out_[from].test(to);
 }
 
 process_set digraph::out_neighbors(process_id v) const {
   check_vertex(v);
-  if (!present_.contains(v)) return {};
-  return process_set(out_[v]) & present_;
+  if (!present_.test(v)) return {};
+  return out_[v] & present_;
 }
 
 process_set digraph::in_neighbors(process_id v) const {
   check_vertex(v);
-  if (!present_.contains(v)) return {};
-  return process_set(in_[v]) & present_;
+  if (!present_.test(v)) return {};
+  return in_[v] & present_;
 }
 
 std::vector<edge> digraph::edges() const {
@@ -85,46 +83,56 @@ void digraph::remove_edges_of(const digraph& other) {
   if (other.vertex_count() != n_)
     throw std::invalid_argument("digraph: edge-set size mismatch");
   for (process_id v = 0; v < n_; ++v) {
-    out_[v] &= ~other.out_[v];
-    in_[v] &= ~other.in_[v];
+    out_[v] -= other.out_[v];
+    in_[v] -= other.in_[v];
   }
 }
 
 process_set digraph::reachable_from(process_id v) const {
   check_vertex(v);
-  if (!present_.contains(v)) return {};
-  std::uint64_t visited = std::uint64_t{1} << v;
-  std::uint64_t frontier = visited;
-  const std::uint64_t live = present_.mask();
-  while (frontier != 0) {
-    std::uint64_t next = 0;
-    for (process_set f(frontier); auto u : f) next |= out_[u];
-    next &= live & ~visited;
-    visited |= next;
+  if (!present_.test(v)) return {};
+  // Prefix-bounded algebra: every set here lives in {0..n-1}, so the BFS
+  // touches only words_for(n) words per operation.
+  const std::size_t nw = process_set::words_for(n_);
+  process_set visited = process_set::singleton(v);
+  process_set frontier = visited;
+  while (!frontier.empty(nw)) {
+    process_set next;
+    // Drain the frontier in place (it is rebuilt each round anyway):
+    // take_first keeps the set register-resident where the iterator's
+    // runtime word index would spill it.
+    while (!frontier.empty(nw))
+      next.or_with(out_[frontier.take_first(nw)], nw);
+    next.and_with(present_, nw);
+    next.subtract(visited, nw);
+    visited.or_with(next, nw);
     frontier = next;
   }
-  return process_set(visited);
+  return visited;
 }
 
 process_set digraph::reaching(process_id v) const {
   check_vertex(v);
-  if (!present_.contains(v)) return {};
-  // Backward BFS over the reverse adjacency masks.
-  std::uint64_t visited = std::uint64_t{1} << v;
-  std::uint64_t frontier = visited;
-  const std::uint64_t live = present_.mask();
-  while (frontier != 0) {
-    std::uint64_t next = 0;
-    for (process_set f(frontier); auto u : f) next |= in_[u];
-    next &= live & ~visited;
-    visited |= next;
+  if (!present_.test(v)) return {};
+  // Backward BFS over the reverse adjacency sets.
+  const std::size_t nw = process_set::words_for(n_);
+  process_set visited = process_set::singleton(v);
+  process_set frontier = visited;
+  while (!frontier.empty(nw)) {
+    process_set next;
+    while (!frontier.empty(nw))
+      next.or_with(in_[frontier.take_first(nw)], nw);
+    next.and_with(present_, nw);
+    next.subtract(visited, nw);
+    visited.or_with(next, nw);
     frontier = next;
   }
-  return process_set(visited);
+  return visited;
 }
 
 bool digraph::reaches_all(process_id source, process_set targets) const {
-  return targets.is_subset_of(reachable_from(source));
+  return targets.is_subset_of(reachable_from(source),
+                              process_set::words_for(n_));
 }
 
 process_set digraph::reach_to_all(process_set targets) const {
@@ -136,45 +144,47 @@ process_set digraph::reach_to_all(process_set targets) const {
 
 namespace {
 
-// Iterative Tarjan over bitmask adjacency.
+// Iterative Tarjan over process_set adjacency rows.
 struct tarjan_state {
-  const std::vector<std::uint64_t>& out;
-  std::uint64_t live;
+  const std::vector<process_set>& out;
+  process_set live;
+  std::size_t nw;  // prefix word budget: all sets live in {0..n-1}
   std::vector<int> index, lowlink;
   std::vector<bool> on_stack;
   std::vector<process_id> stack;
   std::vector<process_set> components;
   int next_index = 0;
 
-  explicit tarjan_state(const std::vector<std::uint64_t>& adjacency,
-                        std::uint64_t live_mask, std::size_t n)
+  explicit tarjan_state(const std::vector<process_set>& adjacency,
+                        process_set live_set, std::size_t n)
       : out(adjacency),
-        live(live_mask),
+        live(live_set),
+        nw(process_set::words_for(static_cast<process_id>(n))),
         index(n, -1),
         lowlink(n, 0),
         on_stack(n, false) {}
 
   void run(process_id root) {
-    // Explicit DFS stack of (vertex, iterator-position mask of remaining
-    // successors) to avoid recursion depth issues.
+    // Explicit DFS stack of (vertex, remaining-successor set) to avoid
+    // recursion depth issues.
     struct frame {
       process_id v;
-      std::uint64_t remaining;
+      process_set remaining;
     };
     std::vector<frame> dfs;
     auto open = [&](process_id v) {
       index[v] = lowlink[v] = next_index++;
       stack.push_back(v);
       on_stack[v] = true;
-      dfs.push_back({v, out[v] & live});
+      frame f{v, out[v]};
+      f.remaining.and_with(live, nw);
+      dfs.push_back(f);
     };
     open(root);
     while (!dfs.empty()) {
       frame& top = dfs.back();
-      if (top.remaining != 0) {
-        const process_id w =
-            static_cast<process_id>(std::countr_zero(top.remaining));
-        top.remaining &= top.remaining - 1;
+      if (!top.remaining.empty(nw)) {
+        const process_id w = top.remaining.take_first(nw);
         if (index[w] < 0) {
           open(w);
         } else if (on_stack[w]) {
@@ -204,7 +214,7 @@ struct tarjan_state {
 }  // namespace
 
 std::vector<process_set> digraph::sccs() const {
-  tarjan_state t(out_, present_.mask(), n_);
+  tarjan_state t(out_, present_, n_);
   for (process_id v : present_)
     if (t.index[v] < 0) t.run(v);
   return t.components;
@@ -212,7 +222,7 @@ std::vector<process_set> digraph::sccs() const {
 
 process_set digraph::scc_of(process_id v) const {
   check_vertex(v);
-  if (!present_.contains(v))
+  if (!present_.test(v))
     throw std::invalid_argument("digraph::scc_of: vertex not present");
   // v's SCC = (vertices reachable from v) ∩ (vertices reaching v).
   const process_set forward = reachable_from(v);
@@ -243,7 +253,7 @@ digraph digraph::transitive_closure() const {
         break;
       }
     }
-    closure.out_[v] = reach.mask();
+    closure.out_[v] = reach;
   }
   closure.rebuild_in();
   return closure;

@@ -5,13 +5,13 @@
 //  * plain edge sets (a failure pattern's set C of faulty channels is stored
 //    as a digraph whose edges are exactly the channels allowed to fail).
 //
-// Vertices are process ids 0..n-1. Adjacency is one 64-bit mask per vertex,
-// so reachability and SCC computations are bit-parallel. A digraph also
-// carries a set of *present* vertices so that residual graphs (with crashed
-// processes removed) keep the original vertex numbering.
+// Vertices are process ids 0..n-1. Adjacency is one process_set per
+// vertex, so reachability and SCC computations are bit-parallel O(words)
+// word operations at any capacity. A digraph also carries a set of
+// *present* vertices so that residual graphs (with crashed processes
+// removed) keep the original vertex numbering.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -119,10 +119,10 @@ class digraph {
 
   process_id n_ = 0;
   process_set present_;
-  std::vector<std::uint64_t> out_;  // out_[v] = successor mask (may contain
-                                    // absent vertices; masked on access)
-  std::vector<std::uint64_t> in_;   // in_[v] = predecessor mask, kept in
-                                    // lockstep with out_
+  std::vector<process_set> out_;  // out_[v] = successor set (may contain
+                                  // absent vertices; masked on access)
+  std::vector<process_set> in_;   // in_[v] = predecessor set, kept in
+                                  // lockstep with out_
 };
 
 }  // namespace gqs

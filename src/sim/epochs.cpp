@@ -23,7 +23,7 @@ connectivity_epochs::connectivity_epochs(const fault_plan& plan)
           channels.add_edge(u, v);
     e.up.resize(n_);
     for (process_id u = 0; u < n_; ++u)
-      e.up[u] = channels.out_neighbors(u).mask();
+      e.up[u] = channels.out_neighbors(u);
     e.residual = std::move(channels);
     e.residual.remove_vertices(e.alive.complement_in(n_));
     e.reach.resize(n_);

@@ -45,9 +45,10 @@ class connectivity_epochs {
 
   const process_set& alive(std::size_t e) const { return epochs_[e].alive; }
   bool alive(std::size_t e, process_id p) const {
-    // p < system_size() <= 64 always holds on this path, so a raw shift
-    // (no bounds branch) is safe — this runs once or twice per event.
-    return (epochs_[e].alive.mask() >> p) & 1u;
+    // p < system_size() <= the set capacity always holds on this path, so
+    // the unchecked word test (no bounds branch) is safe — this runs once
+    // or twice per event.
+    return epochs_[e].alive.test(p);
   }
 
   /// True iff the channel (from, to) is up throughout epoch e. Liveness of
@@ -55,12 +56,12 @@ class connectivity_epochs {
   /// a send to a crashed process still traverses an up channel and is
   /// dropped at delivery).
   bool channel_up(std::size_t e, process_id from, process_id to) const {
-    return (epochs_[e].up[from] >> to) & 1u;
+    return epochs_[e].up[from].test(to);
   }
 
   /// All channels leaving `from` that are up in epoch e.
-  process_set up_out_channels(std::size_t e, process_id from) const {
-    return process_set(epochs_[e].up[from]);
+  const process_set& up_out_channels(std::size_t e, process_id from) const {
+    return epochs_[e].up[from];
   }
 
   /// The residual graph of epoch e: up channels restricted to live
@@ -81,7 +82,7 @@ class connectivity_epochs {
   struct epoch {
     sim_time start = 0;
     process_set alive;
-    std::vector<std::uint64_t> up;  ///< up[v] = mask of up channels (v, *)
+    std::vector<process_set> up;  ///< up[v] = set of up channels (v, *)
     digraph residual;  ///< up channels among live processes
     std::vector<process_set> reach;  ///< reach[v] = residual reachability
   };

@@ -368,7 +368,7 @@ availability_estimate estimate_availability(
     const std::uint64_t subsets = std::uint64_t{1} << n;
     est.trials = subsets;
     for (std::uint64_t mask = 0; mask < subsets; ++mask) {
-      const process_set alive(mask);
+      const process_set alive = process_set::from_words({mask});
       double prob = 1.0;
       for (process_id p = 0; p < n; ++p)
         prob *= alive.contains(p) ? (1.0 - fail[p]) : fail[p];

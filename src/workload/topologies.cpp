@@ -236,7 +236,9 @@ std::vector<scenario_family> topology_corpus(process_id max_n) {
 
   for (process_id n : {process_id{4}, process_id{6}, process_id{8},
                        process_id{12}, process_id{16}, process_id{24},
-                       process_id{32}, process_id{48}, process_id{64}}) {
+                       process_id{32}, process_id{48}, process_id{64},
+                       process_id{96}, process_id{128}, process_id{192},
+                       process_id{256}}) {
     if (n > max_n) break;
     // Rings fracture into chains of singleton SCCs under a single channel
     // failure — the unidirectional variant is the solver's hardest shape.

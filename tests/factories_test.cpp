@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
+#include "core/existence.hpp"
 #include "core/random_systems.hpp"
 
 namespace gqs {
@@ -87,6 +89,86 @@ TEST(Example9, OnlyF1Changed) {
   // f1′ additionally fails (a, b) = (0, 1).
   EXPECT_TRUE(variant[0].channel_may_fail(0, 1));
   EXPECT_FALSE(base[0].channel_may_fail(0, 1));
+}
+
+// ---------- structured large-n constructions ----------
+
+TEST(SingleCrashFps, OnePatternPerProcess) {
+  const auto fps = single_crash_fail_prone_system(6);
+  ASSERT_EQ(fps.size(), 6u);
+  for (process_id p = 0; p < 6; ++p) {
+    EXPECT_EQ(fps[p].crashable(), process_set::singleton(p));
+    EXPECT_EQ(fps[p].faulty_channels().edge_count(), 0);
+  }
+  EXPECT_THROW(single_crash_fail_prone_system(1), std::invalid_argument);
+}
+
+TEST(StructuredFactories, GridIsValidDefinition2System) {
+  // Full Definition 2 check (consistency + availability) across sizes,
+  // including non-square n where the remainder merges into the last row.
+  for (process_id n : {4u, 7u, 9u, 12u, 16u, 30u, 64u, 100u, 150u, 256u}) {
+    const auto qs = grid_quorum_system(n);
+    EXPECT_TRUE(check_generalized(qs).ok) << "n=" << n;
+    EXPECT_TRUE(check_classical(qs).ok) << "n=" << n;
+  }
+  EXPECT_THROW(grid_quorum_system(3), std::invalid_argument);
+}
+
+TEST(StructuredFactories, TreeIsValidDefinition2System) {
+  for (process_id n : {3u, 5u, 9u, 17u, 27u, 64u, 128u, 200u, 256u}) {
+    const auto qs = tree_quorum_system(n);
+    EXPECT_TRUE(check_generalized(qs).ok) << "n=" << n;
+    EXPECT_TRUE(check_classical(qs).ok) << "n=" << n;
+  }
+  EXPECT_THROW(tree_quorum_system(2), std::invalid_argument);
+}
+
+TEST(StructuredFactories, HierarchicalIsValidDefinition2System) {
+  for (process_id n : {4u, 8u, 9u, 13u, 25u, 64u, 121u, 200u, 256u}) {
+    const auto qs = hierarchical_quorum_system(n);
+    EXPECT_TRUE(check_generalized(qs).ok) << "n=" << n;
+    EXPECT_TRUE(check_classical(qs).ok) << "n=" << n;
+  }
+  EXPECT_THROW(hierarchical_quorum_system(3), std::invalid_argument);
+}
+
+TEST(StructuredFactories, GridShape) {
+  const auto qs = grid_quorum_system(256);  // perfect square: 16 × 16
+  EXPECT_EQ(qs.reads.size(), 16u);
+  EXPECT_EQ(qs.writes.size(), 16u);
+  for (const auto& r : qs.reads) EXPECT_EQ(r.size(), 16);
+  for (const auto& w : qs.writes) EXPECT_EQ(w.size(), 16);
+  // Ragged n: the remainder merges into the last row instead of forming a
+  // short row a single crash could wipe out.
+  const auto ragged = grid_quorum_system(14);  // block 3, rows 4; last = 5
+  EXPECT_EQ(ragged.reads.size(), 4u);
+  EXPECT_EQ(ragged.reads.back().size(), 5);
+  for (const auto& r : ragged.reads) EXPECT_GE(r.size(), 3);
+}
+
+TEST(StructuredFactories, QuorumFamiliesScalePolynomially) {
+  // The whole point of the structured factories: family sizes grow like
+  // √n (grid, clusters) or n^log₃2 (tree), never 2^n.
+  for (process_id n : {64u, 144u, 256u}) {
+    EXPECT_LE(grid_quorum_system(n).writes.size(),
+              2 * static_cast<std::size_t>(std::sqrt(n)) + 1);
+    EXPECT_LE(hierarchical_quorum_system(n).writes.size(),
+              2 * (static_cast<std::size_t>(std::sqrt(n)) + 1));
+    EXPECT_LE(tree_quorum_system(n).writes.size(), 243u);
+  }
+}
+
+TEST(StructuredFactories, SolverAdmitsSingleCrashSystems) {
+  // Cross-check with the existence machinery at sizes where the
+  // exhaustive reference is still affordable: the single-crash systems
+  // the structured factories ride on always admit a GQS.
+  for (process_id n : {4u, 6u, 9u}) {
+    const auto fps = single_crash_fail_prone_system(n);
+    EXPECT_TRUE(gqs_exists_exhaustive(fps)) << "n=" << n;
+    const auto witness = find_gqs(fps);
+    ASSERT_TRUE(witness.has_value()) << "n=" << n;
+    EXPECT_TRUE(check_generalized(witness->system).ok) << "n=" << n;
+  }
 }
 
 TEST(RandomSystems, Deterministic) {

@@ -56,7 +56,7 @@ TEST(Parse, Errors) {
   EXPECT_THROW(parse_fail_prone_system(""), parse_error);
   EXPECT_THROW(parse_fail_prone_system("pattern\n"), parse_error);  // no size
   EXPECT_THROW(parse_fail_prone_system("system 0\n"), parse_error);
-  EXPECT_THROW(parse_fail_prone_system("system 65\n"), parse_error);
+  EXPECT_THROW(parse_fail_prone_system("system 257\n"), parse_error);
   EXPECT_THROW(parse_fail_prone_system("system 3\nsystem 3\n"), parse_error);
   EXPECT_THROW(parse_fail_prone_system("system 3\nbogus\n"), parse_error);
   EXPECT_THROW(parse_fail_prone_system("system 3\npattern crash={9}\n"),

@@ -180,11 +180,11 @@ TEST(PatternTable, MatchesDigraphGroundTruth) {
       }
     }
     EXPECT_EQ(covered, residual.present());
-    // Sorted by size descending, mask ascending.
+    // Sorted by size descending, set value ascending.
     for (std::size_t i = 1; i < t.components.size(); ++i) {
       const auto &prev = t.components[i - 1], &cur = t.components[i];
       EXPECT_TRUE(prev.size() > cur.size() ||
-                  (prev.size() == cur.size() && prev.mask() < cur.mask()));
+                  (prev.size() == cur.size() && prev < cur));
     }
   }
 }

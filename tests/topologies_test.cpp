@@ -117,7 +117,7 @@ TEST(Topologies, GeometricIsSeedDeterministicAndSymmetric) {
 TEST(Topologies, RejectsBadParameters) {
   EXPECT_THROW(make_topology(make_params(topology_kind::ring, 0)),
                std::invalid_argument);
-  EXPECT_THROW(make_topology(make_params(topology_kind::ring, 65)),
+  EXPECT_THROW(make_topology(make_params(topology_kind::ring, 257)),
                std::invalid_argument);
   auto p = make_params(topology_kind::clusters, 8);
   p.cluster_size = 0;
