@@ -222,6 +222,25 @@ double slab_pass(std::uint64_t seed, std::uint64_t& delivered) {
          std::chrono::duration<double>(end - begin).count();
 }
 
+// The identical ring with per-link channels enabled (finite bandwidth, so
+// every send runs the serialization/FIFO arithmetic and the byte
+// counters). The zero-capacity no-regression rides on the main speedup
+// gate — network_options{} leaves channels disabled, so slab_pass IS the
+// zero-capacity configuration; this pass prices the enabled path.
+double channel_pass(std::uint64_t seed) {
+  network_options net;
+  net.channel.bytes_per_us = 1.0;  // 64 µs per default-size message
+  simulation sim(kRing, net, fault_plan::none(kRing), seed);
+  for (process_id p = 0; p < kRing; ++p)
+    sim.set_node(p, std::make_unique<ring_node>(p == 0 ? kTokens : 0));
+  sim.start();
+  const auto begin = std::chrono::steady_clock::now();
+  sim.run_until(sim_time_never - 1);
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(sim.metrics().events_processed) /
+         std::chrono::duration<double>(end - begin).count();
+}
+
 // ---- protocol-shaped workload: flooding broadcast storm ----
 
 class storm_node : public flooding_node {
@@ -280,22 +299,39 @@ int bench_entry() {
   for (int pass = 0; pass < kPasses; ++pass)
     storm_rate = std::max(storm_rate, storm_pass(11 + pass));
 
+  double channel_rate = 0;
+  for (int pass = 0; pass < kPasses; ++pass)
+    channel_rate = std::max(channel_rate, channel_pass(7 + pass));
+
   const double speedup = legacy_rate > 0 ? slab_rate / legacy_rate : 0;
+  const double channel_cost =
+      channel_rate > 0 ? slab_rate / channel_rate : 0;
 
   text_table t({"engine", "workload", "events/sec"});
   t.add_row({"legacy (std::function queue)", "ring",
              fmt_count(static_cast<std::uint64_t>(legacy_rate))});
   t.add_row({"slab (typed records)", "ring",
              fmt_count(static_cast<std::uint64_t>(slab_rate))});
+  t.add_row({"slab + link channels", "ring",
+             fmt_count(static_cast<std::uint64_t>(channel_rate))});
   t.add_row({"slab (typed records)", "flood storm",
              fmt_count(static_cast<std::uint64_t>(storm_rate))});
   t.print();
   std::cout << "\nspeedup (slab/legacy): " << fmt_double(speedup, 2)
             << "x — acceptance bar 1.5x\n";
+  std::cout << "channel-layer cost (slab/channels): "
+            << fmt_double(channel_cost, 2) << "x — bar 1.2x\n";
 
   gqs_bench::record("legacy_events_per_sec", legacy_rate);
   gqs_bench::record("slab_events_per_sec", slab_rate);
   gqs_bench::record("storm_events_per_sec", storm_rate);
+  gqs_bench::record("channel_events_per_sec", channel_rate);
+  gqs_bench::record("channel_cost_ratio", channel_cost);
   gqs_bench::record("speedup", speedup);
+  if (channel_cost > 1.2) {
+    std::cerr << "enabled channel layer costs " << fmt_double(channel_cost, 2)
+              << "x in events/sec, above the 1.2x bar\n";
+    return 1;
+  }
   return 0;
 }

@@ -72,12 +72,14 @@ class classical_qaf : public quorum_access<S> {
     std::uint64_t seq;
     explicit get_req(std::uint64_t k) : seq(k) {}
     std::string debug_name() const override { return "GET_REQ"; }
+    std::size_t wire_size() const override { return 16; }
   };
   struct get_resp : message {
     std::uint64_t seq;
     S state;
     get_resp(std::uint64_t k, S s) : seq(k), state(std::move(s)) {}
     std::string debug_name() const override { return "GET_RESP"; }
+    std::size_t wire_size() const override { return 8 + sizeof(S); }
   };
   struct set_req : message {
     std::uint64_t seq;

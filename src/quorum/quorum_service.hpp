@@ -291,26 +291,34 @@ class quorum_service : public component {
     std::uint64_t req;
     explicit probe_msg(std::uint64_t r) : req(r) {}
     std::string debug_name() const override { return "SVC_CLOCK_REQ"; }
+    std::size_t wire_size() const override { return 16; }
   };
   struct probe_ack_msg : message {
     std::uint64_t req;
     std::uint64_t clock;
     probe_ack_msg(std::uint64_t r, std::uint64_t c) : req(r), clock(c) {}
     std::string debug_name() const override { return "SVC_CLOCK_RESP"; }
+    std::size_t wire_size() const override { return 24; }
   };
   /// SET_REQ batch: one wire message for every set staged in one instant.
+  /// Serialization cost (like every batch below) is header + per-entry, so
+  /// coalesced batches pay realistic wire time under the bandwidth model.
   struct set_batch_msg : message {
     std::uint64_t batch;
     pooled_batch<set_entry> entries;
     set_batch_msg(std::uint64_t b, pooled_batch<set_entry> e)
         : batch(b), entries(std::move(e)) {}
     std::string debug_name() const override { return "SVC_SET_REQ"; }
+    std::size_t wire_size() const override {
+      return 16 + sizeof(set_entry) * entries.size();
+    }
   };
   struct set_ack_msg : message {
     std::uint64_t batch;
     std::uint64_t clock;  // engine clock after applying the whole batch
     set_ack_msg(std::uint64_t b, std::uint64_t c) : batch(b), clock(c) {}
     std::string debug_name() const override { return "SVC_SET_RESP"; }
+    std::size_t wire_size() const override { return 24; }
   };
   /// The paper's unsolicited GET_RESP, batched: dirty keys since the
   /// previous gossip, plus the shared engine clock.
@@ -322,11 +330,15 @@ class quorum_service : public component {
                pooled_batch<gossip_entry> e)
         : gseq(s), clock(c), entries(std::move(e)) {}
     std::string debug_name() const override { return "SVC_GOSSIP"; }
+    std::size_t wire_size() const override {
+      return 24 + sizeof(gossip_entry) * entries.size();
+    }
   };
   struct nack_msg : message {
     std::uint64_t from_seq;  // first missing gossip sequence
     explicit nack_msg(std::uint64_t s) : from_seq(s) {}
     std::string debug_name() const override { return "SVC_GOSSIP_NACK"; }
+    std::size_t wire_size() const override { return 16; }
   };
   /// Cumulative stand-in for every gossip ≤ upto_seq: current states of
   /// all keys changed after the requested gap began.
@@ -338,6 +350,9 @@ class quorum_service : public component {
                std::vector<gossip_entry> e)
         : upto_seq(u), clock(c), entries(std::move(e)) {}
     std::string debug_name() const override { return "SVC_GOSSIP_REPAIR"; }
+    std::size_t wire_size() const override {
+      return 24 + sizeof(gossip_entry) * entries.size();
+    }
   };
 
   void start() override {

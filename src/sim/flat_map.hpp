@@ -1,0 +1,122 @@
+// flat_map.hpp — open-addressing int→int map for the timer hot path.
+//
+// mux_host tracks which component owns each outstanding timer. The live
+// set is small (one entry per armed timer) but churns on every timer arm
+// and fire, which made the previous std::map<int,int> a node allocation
+// plus a pointer-chasing red-black walk per timer event. This map is a
+// single flat array probed linearly: inserts and lookups touch one cache
+// line in the common case, erase backward-shifts instead of leaving
+// tombstones (so load stays honest under heavy churn), and capacity is a
+// power of two grown geometrically. Keys must be non-negative (timer ids
+// are); -1 is the empty sentinel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace gqs {
+
+class flat_timer_map {
+ public:
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void insert(int key, int value) {
+    if (key < 0) throw std::invalid_argument("flat_timer_map: negative key");
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();
+    std::size_t i = index_of(key);
+    while (slots_[i].key != kEmpty) {
+      if (slots_[i].key == key) {
+        slots_[i].value = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = slot{key, value};
+    ++size_;
+  }
+
+  std::optional<int> find(int key) const {
+    if (slots_.empty()) return std::nullopt;
+    std::size_t i = index_of(key);
+    while (slots_[i].key != kEmpty) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  /// Looks up `key` and, when present, removes it — the fire-and-dispatch
+  /// pattern of mux_host::on_timer in one probe sequence.
+  std::optional<int> take(int key) {
+    if (slots_.empty()) return std::nullopt;
+    std::size_t i = index_of(key);
+    while (slots_[i].key != kEmpty) {
+      if (slots_[i].key == key) {
+        const int value = slots_[i].value;
+        erase_at(i);
+        return value;
+      }
+      i = (i + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  bool erase(int key) { return take(key).has_value(); }
+
+ private:
+  static constexpr int kEmpty = -1;
+
+  struct slot {
+    int key = kEmpty;
+    int value = 0;
+  };
+
+  std::size_t index_of(int key) const noexcept {
+    // Fibonacci multiplicative hash; sequential timer ids scatter evenly.
+    return (static_cast<std::uint32_t>(key) * UINT32_C(2654435769)) >> shift_;
+  }
+
+  void erase_at(std::size_t hole) {
+    // Backward-shift deletion: slide later probe-chain members into the
+    // hole so every surviving entry stays reachable from its home slot.
+    std::size_t i = hole;
+    for (;;) {
+      i = (i + 1) & mask_;
+      if (slots_[i].key == kEmpty) break;
+      const std::size_t home = index_of(slots_[i].key);
+      // Move unless the entry's home lies in (hole, i] cyclically —
+      // moving it would jump it before its home slot.
+      const bool home_in_gap = ((i - home) & mask_) < ((i - hole) & mask_);
+      if (!home_in_gap) {
+        slots_[hole] = slots_[i];
+        hole = i;
+      }
+    }
+    slots_[hole] = slot{};
+    --size_;
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<slot> old;
+    old.swap(slots_);
+    slots_.assign(cap, slot{});
+    mask_ = cap - 1;
+    shift_ = 32;
+    for (std::size_t c = cap; c > 1; c >>= 1) --shift_;
+    size_ = 0;
+    for (const slot& s : old)
+      if (s.key != kEmpty) insert(s.key, s.value);
+  }
+
+  std::vector<slot> slots_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 32;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gqs

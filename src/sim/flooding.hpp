@@ -119,6 +119,9 @@ class flooding_node : public node {
     direct_msg(process_id o, message_ptr p)
         : origin(o), payload(std::move(p)) {}
     std::string debug_name() const override { return "direct"; }
+    std::size_t wire_size() const override {
+      return 16 + payload->wire_size();  // origin + framing
+    }
   };
 
   struct envelope : message {
@@ -130,6 +133,9 @@ class flooding_node : public node {
     envelope(process_id o, std::uint64_t s, process_id d, message_ptr p)
         : origin(o), seq(s), dest(d), payload(std::move(p)) {}
     std::string debug_name() const override { return "envelope"; }
+    std::size_t wire_size() const override {
+      return 24 + payload->wire_size();  // origin + seq + dest + framing
+    }
   };
 
   void originate(process_id dest, message_ptr payload);

@@ -14,6 +14,7 @@
 // make_message (tag unset) fall back to dynamic_cast.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -35,6 +36,12 @@ struct message {
 
   /// Short human-readable tag for tracing.
   virtual std::string debug_name() const { return "message"; }
+
+  /// Serialized size hint in bytes, consumed by the per-link channel
+  /// layer (sim/network.hpp) to compute serialization delay. The default
+  /// models a small fixed-size frame; batch messages override it to report
+  /// header + per-entry cost so coalescing pays realistic wire time.
+  virtual std::size_t wire_size() const { return 64; }
 
   /// Type tag of the most-derived constructed type; set by make_message,
   /// nullptr for messages built by hand (which message_cast then resolves

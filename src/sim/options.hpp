@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/failure_pattern.hpp"
+#include "sim/network.hpp"
 #include "sim/time.hpp"
 
 namespace gqs {
@@ -20,16 +21,24 @@ namespace gqs {
 /// For the purely asynchronous model set gst = 0 and delta = max_delay
 /// (the default): delays are then uniformly random throughout. For the
 /// partially synchronous model of §7 set gst > 0, max_delay ≫ delta.
+///
+/// When `channel.bytes_per_us > 0` the per-link bandwidth/queueing layer
+/// (sim/network.hpp) sits in front of this propagation delay: messages
+/// first serialize FIFO onto a finite-capacity directed link, then the
+/// random delay above applies as propagation. The default (0) keeps the
+/// legacy independent-delay model, bit for bit.
 struct network_options {
   sim_time min_delay = 1000;    // 1 ms
   sim_time max_delay = 10000;   // 10 ms
   sim_time gst = 0;             // global stabilization time
   sim_time delta = 10000;       // post-GST delay bound
+  channel_options channel;      // disabled unless bytes_per_us > 0
 
   void validate() const {
     if (min_delay <= 0 || max_delay < min_delay || delta < min_delay)
       throw std::invalid_argument("network_options: bad delay bounds");
     if (gst < 0) throw std::invalid_argument("network_options: bad gst");
+    channel.validate();
   }
 };
 

@@ -11,14 +11,17 @@ namespace gqs {
 run_aggregate aggregate(const std::vector<run_result>& results) {
   run_aggregate a;
   sample_accumulator latencies;
+  sample_accumulator link_bytes;
   for (const run_result& r : results) {
     ++a.runs;
     if (!r.ok) ++a.failed;
     a.totals += r.metrics;
     a.wall_ms += r.wall_ms;
     latencies.add(r.latencies_us);
+    link_bytes.add(r.link_bytes);
   }
   a.latency_us = latencies.summary();
+  a.link_bytes = link_bytes.summary();
   if (a.wall_ms > 0)
     a.events_per_sec = static_cast<double>(a.totals.events_processed) /
                        (a.wall_ms / 1000.0);
@@ -42,6 +45,14 @@ std::string to_json(const run_aggregate& a) {
       << ", \"p99\": " << fmt_json_double(a.latency_us.p99)
       << ", \"min\": " << fmt_json_double(a.latency_us.min)
       << ", \"max\": " << fmt_json_double(a.latency_us.max) << "}"
+      << ", \"bytes_sent\": " << a.totals.bytes_sent
+      << ", \"bytes_delivered\": " << a.totals.bytes_delivered
+      << ", \"dropped_queue_full\": " << a.totals.dropped_queue_full
+      << ", \"max_link_queue_depth\": " << a.totals.max_link_queue_depth
+      << ", \"link_bytes\": {\"count\": " << a.link_bytes.count
+      << ", \"mean\": " << fmt_json_double(a.link_bytes.mean)
+      << ", \"p99\": " << fmt_json_double(a.link_bytes.p99)
+      << ", \"max\": " << fmt_json_double(a.link_bytes.max) << "}"
       << ", \"wall_ms\": " << fmt_json_double(a.wall_ms)
       << ", \"events_per_sec\": " << fmt_json_double(a.events_per_sec)
       << "}";

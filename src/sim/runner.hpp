@@ -31,6 +31,10 @@ struct run_result {
   sim_metrics metrics;               ///< final simulator counters
   sim_time sim_end = 0;              ///< virtual clock when the run ended
   std::vector<double> latencies_us;  ///< per-operation latencies
+  /// Bytes carried per loaded link (simulation::channels().per_link_bytes();
+  /// empty when the bandwidth model is off). Folded like latencies so
+  /// aggregates expose the byte-imbalance across links.
+  std::vector<double> link_bytes;
   std::map<std::string, double> stats;  ///< protocol-specific outputs
   double wall_ms = 0;  ///< host time (excluded from determinism)
 };
@@ -49,6 +53,7 @@ struct run_aggregate {
   std::size_t failed = 0;  ///< cells with ok == false
   sim_metrics totals;
   sample_summary latency_us;
+  sample_summary link_bytes;  ///< per-link byte distribution (channel runs)
   double wall_ms = 0;         ///< summed across cells (CPU-seconds-ish)
   double events_per_sec = 0;  ///< totals.events_processed per wall second
 };

@@ -17,6 +17,7 @@ simulation::simulation(process_id n, network_options net, fault_plan faults,
   if (faults_.system_size() != n)
     throw std::invalid_argument("simulation: fault plan size mismatch");
   net_.validate();
+  channels_ = link_network(n, net_.channel);
   wheel_.configure(std::max(net_.max_delay, net_.delta));
 }
 
@@ -190,7 +191,25 @@ void simulation::send(process_id from, process_id to, message_ptr m) {
     if (trace_) emit_trace(trace_event::kind::drop_channel, from, to, m.get());
     return;
   }
-  const sim_time arrival = now_ + draw_delay();
+  // The propagation delay is drawn before the channel layer is consulted
+  // so the RNG stream is identical whether or not channels are enabled:
+  // with a zero-capacity config this function is byte-for-byte the legacy
+  // independent-delay model.
+  sim_time arrival = now_ + draw_delay();
+  if (channels_.enabled()) {
+    const std::size_t bytes = m->wire_size();
+    const auto admitted =
+        channels_.transmit(from, to, bytes, now_, arrival - now_);
+    if (!admitted.accepted) {
+      ++metrics_.dropped_queue_full;
+      if (trace_) emit_trace(trace_event::kind::drop_queue, from, to, m.get());
+      return;
+    }
+    metrics_.bytes_sent += bytes;
+    if (metrics_.max_link_queue_depth < channels_.max_queue_depth())
+      metrics_.max_link_queue_depth = channels_.max_queue_depth();
+    arrival = admitted.arrival;
+  }
   const std::uint32_t slot = alloc_record();
   event_record& e = slab_[slot];
   e.kind = event_kind::deliver;
@@ -260,6 +279,7 @@ bool simulation::pop_and_dispatch(sim_time horizon) {
           emit_trace(trace_event::kind::drop_crashed, a, b, msg.get());
       } else {
         ++metrics_.messages_delivered;
+        if (channels_.enabled()) metrics_.bytes_delivered += msg->wire_size();
         if (trace_) emit_trace(trace_event::kind::deliver, a, b, msg.get());
         nodes_[b]->on_message(a, msg);
       }

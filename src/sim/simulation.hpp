@@ -23,6 +23,7 @@
 
 #include "sim/epochs.hpp"
 #include "sim/message.hpp"
+#include "sim/network.hpp"
 #include "sim/options.hpp"
 #include "sim/time.hpp"
 
@@ -38,6 +39,11 @@ struct sim_metrics {
   std::uint64_t dropped_receiver_crashed = 0;
   std::uint64_t timers_fired = 0;
   std::uint64_t events_processed = 0;
+  // Channel-layer counters; all zero when the bandwidth model is disabled.
+  std::uint64_t bytes_sent = 0;       ///< wire bytes accepted onto links
+  std::uint64_t bytes_delivered = 0;  ///< wire bytes reaching live receivers
+  std::uint64_t dropped_queue_full = 0;  ///< sends into a full link queue
+  std::uint64_t max_link_queue_depth = 0;  ///< peak occupancy of any link
 
   bool operator==(const sim_metrics&) const = default;
 };
@@ -50,6 +56,12 @@ inline sim_metrics& operator+=(sim_metrics& a, const sim_metrics& b) {
   a.dropped_receiver_crashed += b.dropped_receiver_crashed;
   a.timers_fired += b.timers_fired;
   a.events_processed += b.events_processed;
+  a.bytes_sent += b.bytes_sent;
+  a.bytes_delivered += b.bytes_delivered;
+  a.dropped_queue_full += b.dropped_queue_full;
+  a.max_link_queue_depth = a.max_link_queue_depth > b.max_link_queue_depth
+                               ? a.max_link_queue_depth
+                               : b.max_link_queue_depth;
   return a;
 }
 
@@ -60,6 +72,7 @@ struct trace_event {
     deliver,         ///< message handed to a live receiver
     drop_channel,    ///< send on a disconnected channel
     drop_crashed,    ///< delivery to a crashed receiver
+    drop_queue,      ///< send into a full link queue (bandwidth model)
     timer,           ///< timer fired at a live process
   };
   kind what = kind::send;
@@ -99,6 +112,12 @@ class simulation {
 
   /// The precomputed connectivity tables of this run's fault plan.
   const connectivity_epochs& epochs() const noexcept { return epochs_; }
+
+  /// The per-link bandwidth/queueing layer (inert when the channel config
+  /// is disabled). Non-const so nodes can query credits()/queue_depth(),
+  /// which lazily retire departed messages.
+  link_network& channels() noexcept { return channels_; }
+  const link_network& channels() const noexcept { return channels_; }
 
   /// Index of the epoch containing the current instant (cached; the clock
   /// is monotone, so this is O(1) amortized).
@@ -246,6 +265,7 @@ class simulation {
   network_options net_;
   fault_plan faults_;
   connectivity_epochs epochs_;
+  link_network channels_;
   std::mt19937_64 rng_;
   sim_time now_ = 0;
   std::uint64_t stamp_ = 0;

@@ -10,11 +10,11 @@
 // registers [2], lattice agreement from snapshots [11]).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/flat_map.hpp"
 #include "sim/flooding.hpp"
 
 namespace gqs {
@@ -151,11 +151,9 @@ class mux_host : public flooding_node {
   }
 
   void on_timer(int timer_id) override {
-    const auto it = timer_owner_.find(timer_id);
-    if (it == timer_owner_.end()) return;
-    const int instance = it->second;
-    timer_owner_.erase(it);
-    comps_[instance]->on_timeout(timer_id);
+    const std::optional<int> instance = timer_owner_.take(timer_id);
+    if (!instance) return;
+    comps_[*instance]->on_timeout(timer_id);
   }
 
   void on_deliver(process_id origin, const message_ptr& payload) override {
@@ -176,6 +174,9 @@ class mux_host : public flooding_node {
     message_ptr inner;
     tagged(int i, message_ptr m) : instance(i), inner(std::move(m)) {}
     std::string debug_name() const override { return "mux"; }
+    std::size_t wire_size() const override {
+      return 8 + inner->wire_size();  // instance tag + payload
+    }
   };
 
   class proxy final : public transport {
@@ -194,7 +195,7 @@ class mux_host : public flooding_node {
     }
     int set_timer(sim_time delay) override {
       const int id = host_->node::set_timer(delay);
-      host_->timer_owner_[id] = instance_;
+      host_->timer_owner_.insert(id, instance_);
       return id;
     }
     process_id self() const override { return host_->node::id(); }
@@ -208,7 +209,7 @@ class mux_host : public flooding_node {
 
   std::vector<std::unique_ptr<component>> comps_;
   std::vector<std::unique_ptr<proxy>> proxies_;
-  std::map<int, int> timer_owner_;
+  flat_timer_map timer_owner_;
 };
 
 }  // namespace gqs

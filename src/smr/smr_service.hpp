@@ -192,6 +192,11 @@ class smr_service : public component {
 
   // ---- wire format (public so tests can craft and inject messages) ----
 
+  /// Wire cost of one log entry: its command batch, per-command.
+  static std::size_t entry_wire_size(const smr_entry_ptr& e) {
+    return e ? sizeof(smr_command) * e->size() : 0;
+  }
+
   /// Commands forwarded to the shard leader (batched per instant).
   struct fwd_msg : message {
     std::uint32_t shard;
@@ -199,6 +204,9 @@ class smr_service : public component {
     fwd_msg(std::uint32_t s, std::vector<smr_command> c)
         : shard(s), cmds(std::move(c)) {}
     std::string debug_name() const override { return "SMR_FWD"; }
+    std::size_t wire_size() const override {
+      return 8 + sizeof(smr_command) * cmds.size();
+    }
   };
   /// Phase 1: the view-v leader solicits promises over every slot ≥ its
   /// committed floor.
@@ -209,6 +217,7 @@ class smr_service : public component {
     p1a_msg(std::uint32_t s, std::uint64_t v, std::uint64_t f)
         : shard(s), view(v), floor(f) {}
     std::string debug_name() const override { return "SMR_1A"; }
+    std::size_t wire_size() const override { return 24; }
   };
   /// One slot of a 1B report: either already chosen (decided value) or
   /// the acceptor's accepted pair.
@@ -228,6 +237,12 @@ class smr_service : public component {
     p1b_msg(std::uint32_t s, std::uint64_t v, p1b_report r)
         : shard(s), view(v), report(std::move(r)) {}
     std::string debug_name() const override { return "SMR_1B"; }
+    std::size_t wire_size() const override {
+      std::size_t bytes = 24;
+      for (const p1b_slot& s : report.slots)
+        bytes += 32 + (s.acc.val ? entry_wire_size(*s.acc.val) : 0);
+      return bytes;
+    }
   };
   struct p2a_msg : message {
     std::uint32_t shard;
@@ -238,6 +253,9 @@ class smr_service : public component {
             smr_entry_ptr e)
         : shard(s), view(v), slot(sl), entry(std::move(e)) {}
     std::string debug_name() const override { return "SMR_2A"; }
+    std::size_t wire_size() const override {
+      return 24 + entry_wire_size(entry);
+    }
   };
   struct p2b_msg : message {
     std::uint32_t shard;
@@ -246,6 +264,7 @@ class smr_service : public component {
     p2b_msg(std::uint32_t s, std::uint64_t v, std::uint64_t sl)
         : shard(s), view(v), slot(sl) {}
     std::string debug_name() const override { return "SMR_2B"; }
+    std::size_t wire_size() const override { return 24; }
   };
   /// In-order commit announcement (doubles as lease renewal).
   struct commit_msg : message {
@@ -257,6 +276,9 @@ class smr_service : public component {
                smr_entry_ptr e)
         : shard(s), view(v), slot(sl), entry(std::move(e)) {}
     std::string debug_name() const override { return "SMR_COMMIT"; }
+    std::size_t wire_size() const override {
+      return 24 + entry_wire_size(entry);
+    }
   };
   /// Leader keep-alive between batches.
   struct hb_msg : message {
@@ -266,6 +288,7 @@ class smr_service : public component {
     hb_msg(std::uint32_t s, std::uint64_t v, std::uint64_t f)
         : shard(s), view(v), floor(f) {}
     std::string debug_name() const override { return "SMR_HB"; }
+    std::size_t wire_size() const override { return 24; }
   };
 
  private:

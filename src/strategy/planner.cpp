@@ -322,6 +322,284 @@ std::vector<pattern_plan> plan_all_patterns(
   return plans;
 }
 
+// ---- latency-aware planning ----
+
+void latency_planner_options::validate(process_id n) const {
+  if (!(read_ratio >= 0.0 && read_ratio <= 1.0))
+    throw std::invalid_argument("latency_planner_options: bad read ratio");
+  if (!(arrival_rate > 0))
+    throw std::invalid_argument(
+        "latency_planner_options: arrival rate must be positive");
+  if (service_rates.size() > 1 && service_rates.size() != n)
+    throw std::invalid_argument(
+        "latency_planner_options: service-rate vector size");
+  for (double mu : service_rates)
+    if (!(mu > 0))
+      throw std::invalid_argument(
+          "latency_planner_options: nonpositive service rate");
+  if (!(tolerance > 0))
+    throw std::invalid_argument("latency_planner_options: bad tolerance");
+  if (max_iterations < 1)
+    throw std::invalid_argument(
+        "latency_planner_options: bad iteration budget");
+}
+
+namespace {
+
+/// Wait assigned to a saturated process: large but finite, so best
+/// responses still rank saturated options and the averaging loop can walk
+/// out of an infeasible start.
+constexpr double kSaturatedWait = 1e9;
+
+std::vector<double> resolve_service_rates(process_id n,
+                                          const std::vector<double>& rates) {
+  std::vector<double> mu(n, 1.0);
+  if (rates.size() == 1)
+    mu.assign(n, rates.front());
+  else
+    for (process_id p = 0; p < rates.size() && p < n; ++p) mu[p] = rates[p];
+  return mu;
+}
+
+/// Per-process M/M/1 response times under per-access load `load` at
+/// throughput λ (capped at kSaturatedWait past saturation).
+std::vector<double> response_waits(const std::vector<double>& load,
+                                   double lambda,
+                                   const std::vector<double>& mu) {
+  std::vector<double> wait(load.size());
+  for (std::size_t p = 0; p < load.size(); ++p) {
+    const double x = lambda * load[p];
+    wait[p] = x < mu[p] ? std::min(kSaturatedWait, 1.0 / (mu[p] - x))
+                        : kSaturatedWait;
+  }
+  return wait;
+}
+
+double max_wait(process_set q, const std::vector<double>& wait) {
+  double worst = 0;
+  for (process_id p : q) worst = std::max(worst, wait[p]);
+  return worst;
+}
+
+/// argmin over a family of max_wait; max-wait ties (e.g. several quorums
+/// pinned at the saturation cap) break to the lowest *total* wait so best
+/// responses still rank saturated options, then to the lowest index.
+std::size_t calmest_quorum(const quorum_family& family,
+                           const std::vector<double>& wait) {
+  std::size_t best = 0;
+  double best_max = std::numeric_limits<double>::infinity();
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    double sum = 0;
+    for (process_id p : family[i]) sum += wait[p];
+    const double w = max_wait(family[i], wait);
+    if (w < best_max || (w == best_max && sum < best_sum)) {
+      best_max = w;
+      best_sum = sum;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// T(σ) for explicit family weights under precomputed per-process waits.
+double mixed_latency(const quorum_family& reads,
+                     const std::vector<double>& read_weights,
+                     const quorum_family& writes,
+                     const std::vector<double>& write_weights, double rho,
+                     const std::vector<double>& wait) {
+  double t = 0;
+  for (std::size_t i = 0; i < reads.size(); ++i)
+    if (read_weights[i] > 0)
+      t += rho * read_weights[i] * max_wait(reads[i], wait);
+  for (std::size_t i = 0; i < writes.size(); ++i)
+    if (write_weights[i] > 0)
+      t += (1.0 - rho) * write_weights[i] * max_wait(writes[i], wait);
+  return t;
+}
+
+}  // namespace
+
+double expected_response_time(const read_write_strategy& strategy,
+                              process_id n, double arrival_rate,
+                              const std::vector<double>& service_rates) {
+  const std::vector<double> mu = resolve_service_rates(n, service_rates);
+  const std::vector<double> load = per_process_load(strategy, n);
+  for (process_id p = 0; p < n; ++p)
+    if (arrival_rate * load[p] >= mu[p])
+      return std::numeric_limits<double>::infinity();
+  const std::vector<double> wait = response_waits(load, arrival_rate, mu);
+  return mixed_latency(strategy.reads.quorums, strategy.reads.weights,
+                       strategy.writes.quorums, strategy.writes.weights,
+                       strategy.read_ratio, wait);
+}
+
+latency_plan_result plan_latency_optimal(process_id n,
+                                         const quorum_family& reads,
+                                         const quorum_family& writes,
+                                         const latency_planner_options&
+                                             options) {
+  options.validate(n);
+  check_family(reads, "read");
+  check_family(writes, "write");
+  for (const quorum_family* family : {&reads, &writes})
+    for (const process_set& q : *family)
+      for (process_id p : q)
+        if (p >= n)
+          throw std::invalid_argument(
+              "plan_latency_optimal: quorum member >= n");
+
+  const double rho = options.read_ratio;
+  const double lambda = options.arrival_rate;
+  const std::vector<double> mu =
+      resolve_service_rates(n, options.service_rates);
+
+  // Method of successive averages over the mixed strategy: exact best
+  // response against the congestion state of the current average, folded
+  // in with a 1/(t+1) step. The per-access load vector is maintained
+  // incrementally (it is a linear function of the weights). The best
+  // iterate by self-consistent objective is kept — MSA itself oscillates,
+  // but every iterate is feasible, so keeping the best is sound.
+  std::vector<double> read_w(reads.size(), 0.0);
+  std::vector<double> write_w(writes.size(), 0.0);
+  std::vector<double> load(n, 0.0);
+
+  // Seed: the capacity-aware load-optimal mixture. It is feasible for any
+  // λ below the peak sustainable throughput by construction, so — since
+  // the best iterate is kept — the result can only improve on it. (A
+  // greedy idle-network seed can start saturated and stay stuck: every
+  // best response then ties at the saturation cap.)
+  {
+    planner_options seed_options;
+    seed_options.read_ratio = rho;
+    seed_options.capacities = mu;
+    const plan_result seed = plan_optimal(n, reads, writes, seed_options);
+    auto fold = [](const quorum_strategy& s, const quorum_family& family,
+                   std::vector<double>& weights) {
+      for (std::size_t i = 0; i < s.quorums.size(); ++i)
+        for (std::size_t j = 0; j < family.size(); ++j)
+          if (family[j] == s.quorums[i]) {
+            weights[j] += s.weights[i];
+            break;
+          }
+    };
+    fold(seed.strategy.reads, reads, read_w);
+    fold(seed.strategy.writes, writes, write_w);
+    for (std::size_t i = 0; i < reads.size(); ++i)
+      for (process_id p : reads[i]) load[p] += rho * read_w[i];
+    for (std::size_t i = 0; i < writes.size(); ++i)
+      for (process_id p : writes[i]) load[p] += (1.0 - rho) * write_w[i];
+  }
+
+  latency_plan_result result;
+  double best_obj = std::numeric_limits<double>::infinity();
+  std::vector<double> best_read_w = read_w;
+  std::vector<double> best_write_w = write_w;
+  int flat_rounds = 0;
+  for (int t = 1; t <= options.max_iterations; ++t) {
+    result.iterations = t;
+    const std::vector<double> wait = response_waits(load, lambda, mu);
+    const double obj =
+        mixed_latency(reads, read_w, writes, write_w, rho, wait);
+    if (obj < best_obj) {
+      const double gain = best_obj - obj;
+      best_obj = obj;
+      best_read_w = read_w;
+      best_write_w = write_w;
+      flat_rounds = gain <= options.tolerance * std::max(1.0, obj)
+                        ? flat_rounds + 1
+                        : 0;
+    } else {
+      ++flat_rounds;
+    }
+    // A long stretch without meaningful improvement means the average has
+    // settled (the 1/(t+1) steps can no longer move it by tolerance).
+    if (t > 32 && flat_rounds >= 64) break;
+
+    const std::size_t br = calmest_quorum(reads, wait);
+    const std::size_t bw = calmest_quorum(writes, wait);
+    const double alpha = 1.0 / static_cast<double>(t + 1);
+    for (double& w : read_w) w *= 1.0 - alpha;
+    for (double& w : write_w) w *= 1.0 - alpha;
+    read_w[br] += alpha;
+    write_w[bw] += alpha;
+    for (double& l : load) l *= 1.0 - alpha;
+    for (process_id p : reads[br]) load[p] += alpha * rho;
+    for (process_id p : writes[bw]) load[p] += alpha * (1.0 - rho);
+  }
+
+  result.strategy.read_ratio = rho;
+  result.strategy.reads.quorums = reads;
+  result.strategy.reads.weights = best_read_w;
+  result.strategy.writes.quorums = writes;
+  result.strategy.writes.weights = best_write_w;
+  result.strategy.reads.prune();
+  result.strategy.writes.prune();
+  result.strategy.validate();
+
+  result.load = per_process_load(result.strategy, n);
+  result.utilization.assign(n, 0.0);
+  result.feasible = true;
+  for (process_id p = 0; p < n; ++p) {
+    result.system_load = std::max(result.system_load, result.load[p]);
+    result.weighted_load =
+        std::max(result.weighted_load, result.load[p] / mu[p]);
+    result.utilization[p] = lambda * result.load[p] / mu[p];
+    if (result.utilization[p] >= 1.0) result.feasible = false;
+  }
+  const std::vector<double> wait = response_waits(result.load, lambda, mu);
+  result.expected_latency =
+      mixed_latency(reads, best_read_w, writes, best_write_w, rho, wait);
+  result.network_cost = expected_network_cost(result.strategy);
+  return result;
+}
+
+std::vector<pareto_point> latency_pareto_sweep(
+    process_id n, const quorum_family& reads, const quorum_family& writes,
+    const pareto_sweep_options& options) {
+  const std::vector<double> mu =
+      resolve_service_rates(n, options.service_rates);
+
+  // Peak sustainable throughput: the capacity-aware load-optimal plan's
+  // 1/weighted_load. Every sweep point plans at a fraction of it.
+  planner_options capacity_aware;
+  capacity_aware.read_ratio = options.read_ratio;
+  capacity_aware.capacities = mu;
+  const plan_result peak = plan_optimal(n, reads, writes, capacity_aware);
+
+  // The latency-blind baseline: classical unweighted load optimization.
+  planner_options load_only;
+  load_only.read_ratio = options.read_ratio;
+  const plan_result blind = plan_optimal(n, reads, writes, load_only);
+
+  std::vector<pareto_point> sweep;
+  sweep.reserve(options.utilizations.size());
+  for (double u : options.utilizations) {
+    if (!(u > 0 && u < 1))
+      throw std::invalid_argument(
+          "latency_pareto_sweep: utilization must be in (0, 1)");
+    pareto_point point;
+    point.utilization = u;
+    point.arrival_rate = u * peak.capacity;
+
+    latency_planner_options lpo;
+    lpo.read_ratio = options.read_ratio;
+    lpo.arrival_rate = point.arrival_rate;
+    lpo.service_rates = mu;
+    latency_plan_result plan =
+        plan_latency_optimal(n, reads, writes, lpo);
+    point.expected_latency = plan.expected_latency;
+    point.system_load = plan.system_load;
+    point.network_cost = plan.network_cost;
+    point.feasible = plan.feasible;
+    point.strategy = std::move(plan.strategy);
+    point.load_only_latency = expected_response_time(
+        blind.strategy, n, point.arrival_rate, mu);
+    sweep.push_back(std::move(point));
+  }
+  return sweep;
+}
+
 namespace {
 
 /// Does the family have a valid (W, R) pair when only `alive` survives,

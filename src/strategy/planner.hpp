@@ -109,6 +109,88 @@ std::vector<pattern_plan> plan_all_patterns(
     const generalized_quorum_system& gqs,
     const planner_options& options = {});
 
+// ---- latency-aware planning (queueing model) ----
+
+/// Options of the latency-aware planner. The per-process service model is
+/// M/M/1: process p serves access work at rate μ_p (accesses/µs counted
+/// per quorum membership); a strategy σ under target throughput λ loads p
+/// at x_p = λ·load_σ(p), and the expected per-member response time is
+///   W_p = 1 / (μ_p − x_p)        (∞ at or beyond saturation).
+/// The planner minimizes the expected quorum response time
+///   T(σ) = ρ·E_R[max_{p∈R} W_p] + (1−ρ)·E_W[max_{p∈W} W_p]
+/// — the user-visible latency objective, instead of plan_optimal's pure
+/// max-load objective, which is throughput-optimal but latency-blind when
+/// capacities are heterogeneous and utilization is high.
+struct latency_planner_options {
+  /// Fraction of accesses that are reads (ρ).
+  double read_ratio = 0.5;
+  /// Target throughput λ (accesses per microsecond).
+  double arrival_rate = 0;
+  /// Per-process service rates μ_p; empty means 1.0 everywhere, a single
+  /// entry broadcasts.
+  std::vector<double> service_rates;
+  /// Stop when one sweep of the averaging loop improves the objective by
+  /// less than this relative amount.
+  double tolerance = 1e-6;
+  int max_iterations = 4000;
+
+  void validate(process_id n) const;
+};
+
+/// A latency-optimized strategy with its queueing-model diagnostics.
+struct latency_plan_result {
+  read_write_strategy strategy;
+  std::vector<double> load;         ///< per-access per-process load of σ
+  std::vector<double> utilization;  ///< x_p/μ_p at the target throughput
+  double expected_latency = 0;      ///< T(σ) in µs (model, not measured)
+  double system_load = 0;           ///< max_p load(p)
+  double weighted_load = 0;         ///< max_p load(p)/μ_p
+  double network_cost = 0;          ///< expected request messages/access
+  int iterations = 0;
+  bool feasible = false;  ///< all processes below saturation under σ
+};
+
+/// Queueing-model expected response time of an arbitrary strategy at
+/// throughput λ (same T(σ) as above; ∞ if σ saturates some process).
+double expected_response_time(const read_write_strategy& strategy,
+                              process_id n, double arrival_rate,
+                              const std::vector<double>& service_rates);
+
+/// Minimizes T(σ) by the method of successive averages: repeated exact
+/// best responses against the current congestion state, averaged with a
+/// 1/(t+1) step, keeping the best iterate seen. Deterministic; seeded from
+/// the greedy response to the idle network.
+latency_plan_result plan_latency_optimal(
+    process_id n, const quorum_family& reads, const quorum_family& writes,
+    const latency_planner_options& options);
+
+/// One point of the load/latency Pareto sweep.
+struct pareto_point {
+  double utilization = 0;       ///< requested fraction of peak throughput
+  double arrival_rate = 0;      ///< the λ this point planned for
+  double expected_latency = 0;  ///< model T(σ) of the latency-aware plan
+  double load_only_latency = 0;  ///< model T of the load-only plan at λ
+  double system_load = 0;       ///< max per-process load of the plan
+  double network_cost = 0;      ///< messages per access of the plan
+  bool feasible = false;
+  read_write_strategy strategy;  ///< for driving measured (simulated) runs
+};
+
+struct pareto_sweep_options {
+  double read_ratio = 0.5;
+  std::vector<double> service_rates;
+  /// Fractions of the peak sustainable throughput to plan at. The peak is
+  /// 1/weighted_load of the capacity-aware load-optimal plan.
+  std::vector<double> utilizations = {0.3, 0.5, 0.7, 0.8, 0.9, 0.95};
+};
+
+/// Plans one latency-optimal strategy per utilization level and reports
+/// the model latency of the load-only plan alongside — the offline
+/// Pareto frontier bench_strategy measures against simulation.
+std::vector<pareto_point> latency_pareto_sweep(
+    process_id n, const quorum_family& reads, const quorum_family& writes,
+    const pareto_sweep_options& options = {});
+
 // ---- independent-failure availability estimation ----
 
 struct availability_options {

@@ -327,5 +327,30 @@ TEST(QuorumService, FullProtocolSafeWhereAblationViolates) {
   }
 }
 
+TEST(QuorumService, CompletesAndStaysLinearizableOnCongestedLinks) {
+  // Per-link bandwidth on: every probe, set batch and gossip pays
+  // serialization time and queues FIFO behind earlier traffic. Unbounded
+  // queues, so congestion delays but never loses protocol messages.
+  network_options net;
+  net.channel.bytes_per_us = 0.5;
+  const auto fig = make_figure1();
+  service_world w(8, fig.gqs, fault_plan::none(4), /*seed=*/5, {}, net);
+  for (int round = 0; round < 4; ++round) {
+    for (process_id p = 0; p < 4; ++p)
+      w.client.invoke_write(p, p % 8, 10 * round + p);
+    ASSERT_TRUE(w.settle()) << "round " << round;
+    for (process_id p = 0; p < 4; ++p)
+      w.client.invoke_read((p + 1) % 4, p % 8);
+    ASSERT_TRUE(w.settle()) << "round " << round;
+  }
+  for (service_key k = 0; k < 8; ++k) {
+    const auto r = check_linearizable(w.client.history_of(k));
+    EXPECT_TRUE(r.linearizable) << "key " << k << ": " << r.reason;
+  }
+  EXPECT_GT(w.sim.metrics().bytes_sent, 0u);
+  EXPECT_GT(w.sim.metrics().max_link_queue_depth, 0u);
+  EXPECT_EQ(w.sim.metrics().dropped_queue_full, 0u);
+}
+
 }  // namespace
 }  // namespace gqs

@@ -158,6 +158,35 @@ TEST(Runner, JsonCarriesMeanAndMax) {
   EXPECT_NE(json.find("\"p99\": "), std::string::npos);
 }
 
+TEST(Runner, AggregateFoldsChannelMetricsAndLinkBytes) {
+  std::vector<run_result> results(2);
+  results[0].metrics.bytes_sent = 1000;
+  results[0].metrics.bytes_delivered = 900;
+  results[0].metrics.dropped_queue_full = 3;
+  results[0].metrics.max_link_queue_depth = 7;
+  results[0].link_bytes = {400.0, 600.0};
+  results[1].metrics.bytes_sent = 500;
+  results[1].metrics.bytes_delivered = 500;
+  results[1].metrics.max_link_queue_depth = 2;
+  results[1].link_bytes = {500.0};
+
+  const run_aggregate a = aggregate(results);
+  EXPECT_EQ(a.totals.bytes_sent, 1500u);
+  EXPECT_EQ(a.totals.bytes_delivered, 1400u);
+  EXPECT_EQ(a.totals.dropped_queue_full, 3u);
+  EXPECT_EQ(a.totals.max_link_queue_depth, 7u);  // max, not sum
+  EXPECT_EQ(a.link_bytes.count, 3u);
+  EXPECT_DOUBLE_EQ(a.link_bytes.mean, 500.0);
+  EXPECT_DOUBLE_EQ(a.link_bytes.max, 600.0);
+
+  const std::string json = to_json(a);
+  EXPECT_NE(json.find("\"bytes_sent\": 1500"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_delivered\": 1400"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_queue_full\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"max_link_queue_depth\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"link_bytes\": {\"count\": 3"), std::string::npos);
+}
+
 namespace {
 
 /// A numpunct facet with a comma decimal separator — the shape of locale

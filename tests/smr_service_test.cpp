@@ -272,5 +272,26 @@ TEST(SmrService, OptionValidationRejectsBadConfigs) {
   EXPECT_THROW(smr_service(0, config, {}), std::invalid_argument);
 }
 
+TEST(SmrService, CommitsAndConvergesOnCongestedLinks) {
+  // Bandwidth-limited links under the partial-synchrony timing: Phase-2
+  // and commit traffic serializes FIFO per link, so batches pay wire time
+  // proportional to their entry count. Unbounded queues keep the protocol
+  // lossless; leases are long enough to ride out the queueing delay.
+  network_options net = consensus_world::partial_sync();
+  net.channel.bytes_per_us = 0.5;
+  const auto gqs = threshold_quorum_system(4, 1);
+  smr_world w(gqs, fault_plan::none(4), /*seed=*/6, /*keys=*/8, {}, net);
+  submit_batch a, b;
+  a.fire(w.sim, w.nodes[0], 0, 8, 24);
+  b.fire(w.sim, w.nodes[3], 3, 8, 24);
+  ASSERT_TRUE(w.sim.run_until_condition(
+      [&] { return a.completed == 24 && b.completed == 24; }, kLong));
+  ASSERT_TRUE(
+      w.sim.run_until_condition([&] { return converged(w, 48); }, kLong));
+  EXPECT_TRUE(check_smr_agreement(w.replicas()).linearizable);
+  EXPECT_GT(w.sim.metrics().bytes_sent, 0u);
+  EXPECT_EQ(w.sim.metrics().dropped_queue_full, 0u);
+}
+
 }  // namespace
 }  // namespace gqs

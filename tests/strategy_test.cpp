@@ -385,5 +385,95 @@ TEST(Selector, EmpiricalFrequenciesTrackWeights) {
   EXPECT_NEAR(static_cast<double>(first) / kDraws, 0.25, 0.02);
 }
 
+// ---------- latency-aware planning ----------
+
+TEST(LatencyPlanner, AvoidsSlowProcessesUnderLoad) {
+  // Three two-of-three quorums, process 2 at a tenth of the service rate.
+  // The load-only planner spreads mass evenly (minimizing unweighted max
+  // load); the latency planner must starve the quorums through the slow
+  // process once its queueing delay dominates.
+  const quorum_family family = two_subsets_of_three();
+  latency_planner_options lpo;
+  lpo.read_ratio = 0.5;
+  lpo.service_rates = {1.0, 1.0, 0.1};
+  lpo.arrival_rate = 0.12;  // saturates process 2 if loaded evenly
+  const latency_plan_result plan =
+      plan_latency_optimal(3, family, family, lpo);
+  ASSERT_TRUE(plan.feasible);
+  // {0, 1} is the only quorum avoiding the slow process; nearly all mass
+  // must sit on it in both families.
+  EXPECT_LT(plan.load[2], 0.2);
+  EXPECT_GT(plan.load[0], 0.8);
+  EXPECT_GT(plan.load[1], 0.8);
+  EXPECT_LT(plan.utilization[2], 1.0);
+
+  // And the plan's model latency beats the load-only plan's at the same
+  // throughput — the head-to-head bench_strategy gates on, in miniature.
+  planner_options load_only;
+  const plan_result blind = plan_optimal(3, family, family, load_only);
+  const double blind_latency = expected_response_time(
+      blind.strategy, 3, lpo.arrival_rate, lpo.service_rates);
+  EXPECT_LT(plan.expected_latency, blind_latency);
+}
+
+TEST(LatencyPlanner, MatchesMm1ClosedFormOnSingletons) {
+  // One singleton quorum per family: load is 1 at process 0, and the
+  // model must reduce to the plain M/M/1 response time 1/(μ − λ).
+  const quorum_family only = {process_set{0}};
+  latency_planner_options lpo;
+  lpo.service_rates = {2.0};
+  lpo.arrival_rate = 1.0;
+  const latency_plan_result plan = plan_latency_optimal(1, only, only, lpo);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.expected_latency, 1.0 / (2.0 - 1.0), 1e-9);
+  EXPECT_NEAR(
+      expected_response_time(plan.strategy, 1, 1.0, lpo.service_rates),
+      1.0, 1e-9);
+  // Past saturation the model reports infinity.
+  EXPECT_TRUE(std::isinf(
+      expected_response_time(plan.strategy, 1, 2.5, lpo.service_rates)));
+}
+
+TEST(LatencyPlanner, RejectsBadInputs) {
+  const quorum_family family = two_subsets_of_three();
+  latency_planner_options lpo;
+  EXPECT_THROW(plan_latency_optimal(3, family, family, lpo),
+               std::invalid_argument);  // missing arrival rate
+  lpo.arrival_rate = 0.1;
+  lpo.service_rates = {1.0, 1.0};  // wrong size (not 1, not n)
+  EXPECT_THROW(plan_latency_optimal(3, family, family, lpo),
+               std::invalid_argument);
+  lpo.service_rates = {1.0, 1.0, -1.0};
+  EXPECT_THROW(plan_latency_optimal(3, family, family, lpo),
+               std::invalid_argument);
+}
+
+TEST(LatencyPlanner, ParetoSweepIsMonotoneAndDominates) {
+  const quorum_family family = two_subsets_of_three();
+  pareto_sweep_options opts;
+  opts.service_rates = {1.0, 1.0, 0.25};
+  const auto sweep = latency_pareto_sweep(3, family, family, opts);
+  ASSERT_EQ(sweep.size(), opts.utilizations.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const pareto_point& pt = sweep[i];
+    EXPECT_TRUE(pt.feasible) << "utilization " << pt.utilization;
+    EXPECT_GT(pt.arrival_rate, 0.0);
+    EXPECT_GT(pt.network_cost, 0.0);
+    // The latency-aware plan never loses to the load-only plan under the
+    // model (the load-only plan is itself a candidate strategy).
+    EXPECT_LE(pt.expected_latency, pt.load_only_latency * (1 + 1e-9))
+        << "utilization " << pt.utilization;
+    pt.strategy.validate();
+    if (i > 0) {
+      // More load, more latency: the frontier is monotone.
+      EXPECT_GE(pt.arrival_rate, sweep[i - 1].arrival_rate);
+      EXPECT_GE(pt.expected_latency, sweep[i - 1].expected_latency - 1e-9);
+    }
+  }
+  // At high utilization the heterogeneity must actually bite.
+  EXPECT_LT(sweep.back().expected_latency,
+            sweep.back().load_only_latency);
+}
+
 }  // namespace
 }  // namespace gqs
