@@ -241,6 +241,47 @@ double channel_pass(std::uint64_t seed) {
          std::chrono::duration<double>(end - begin).count();
 }
 
+// ---- telemetry pricing on the identical ring ----
+//
+// wired   — registry armed (net.telemetry) but no spans and no sampler:
+//           the hot path still sees only the single tracer.active() guard
+//           plus a sampler next_due() compare, so this prices the
+//           *disabled-mode* footprint of the obs subsystem (bar: within
+//           5% of slab_pass, gated in baselines.json as
+//           `telemetry_overhead`);
+// enabled — spans + sampler recording too (info only: recording every
+//           network event as a leaf span is legitimately expensive).
+
+double wired_pass(std::uint64_t seed) {
+  network_options net;
+  net.telemetry = true;  // registry armed; spans and sampler off
+  simulation sim(kRing, net, fault_plan::none(kRing), seed);
+  for (process_id p = 0; p < kRing; ++p)
+    sim.set_node(p, std::make_unique<ring_node>(p == 0 ? kTokens : 0));
+  sim.start();
+  const auto begin = std::chrono::steady_clock::now();
+  sim.run_until(sim_time_never - 1);
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(sim.metrics().events_processed) /
+         std::chrono::duration<double>(end - begin).count();
+}
+
+double enabled_pass(std::uint64_t seed) {
+  network_options net;
+  net.telemetry = true;
+  net.record_spans = true;
+  net.sample_period = 1000;
+  simulation sim(kRing, net, fault_plan::none(kRing), seed);
+  for (process_id p = 0; p < kRing; ++p)
+    sim.set_node(p, std::make_unique<ring_node>(p == 0 ? kTokens : 0));
+  sim.start();
+  const auto begin = std::chrono::steady_clock::now();
+  sim.run_until(sim_time_never - 1);
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(sim.metrics().events_processed) /
+         std::chrono::duration<double>(end - begin).count();
+}
+
 // ---- protocol-shaped workload: flooding broadcast storm ----
 
 class storm_node : public flooding_node {
@@ -303,9 +344,19 @@ int bench_entry() {
   for (int pass = 0; pass < kPasses; ++pass)
     channel_rate = std::max(channel_rate, channel_pass(7 + pass));
 
+  double wired_rate = 0, enabled_rate = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    wired_rate = std::max(wired_rate, wired_pass(7 + pass));
+    enabled_rate = std::max(enabled_rate, enabled_pass(7 + pass));
+  }
+
   const double speedup = legacy_rate > 0 ? slab_rate / legacy_rate : 0;
   const double channel_cost =
       channel_rate > 0 ? slab_rate / channel_rate : 0;
+  const double telemetry_overhead =
+      slab_rate > 0 ? wired_rate / slab_rate : 0;
+  const double telemetry_enabled_cost =
+      enabled_rate > 0 ? slab_rate / enabled_rate : 0;
 
   text_table t({"engine", "workload", "events/sec"});
   t.add_row({"legacy (std::function queue)", "ring",
@@ -314,6 +365,10 @@ int bench_entry() {
              fmt_count(static_cast<std::uint64_t>(slab_rate))});
   t.add_row({"slab + link channels", "ring",
              fmt_count(static_cast<std::uint64_t>(channel_rate))});
+  t.add_row({"slab + telemetry (disabled mode)", "ring",
+             fmt_count(static_cast<std::uint64_t>(wired_rate))});
+  t.add_row({"slab + telemetry (spans + sampler)", "ring",
+             fmt_count(static_cast<std::uint64_t>(enabled_rate))});
   t.add_row({"slab (typed records)", "flood storm",
              fmt_count(static_cast<std::uint64_t>(storm_rate))});
   t.print();
@@ -321,16 +376,27 @@ int bench_entry() {
             << "x — acceptance bar 1.5x\n";
   std::cout << "channel-layer cost (slab/channels): "
             << fmt_double(channel_cost, 2) << "x — bar 1.2x\n";
+  std::cout << "telemetry disabled-mode throughput (wired/slab): "
+            << fmt_double(telemetry_overhead, 3) << " — bar 0.95\n";
 
   gqs_bench::record("legacy_events_per_sec", legacy_rate);
   gqs_bench::record("slab_events_per_sec", slab_rate);
   gqs_bench::record("storm_events_per_sec", storm_rate);
   gqs_bench::record("channel_events_per_sec", channel_rate);
   gqs_bench::record("channel_cost_ratio", channel_cost);
+  gqs_bench::record("wired_events_per_sec", wired_rate);
+  gqs_bench::record("enabled_events_per_sec", enabled_rate);
+  gqs_bench::record("telemetry_overhead", telemetry_overhead);
+  gqs_bench::record("telemetry_enabled_cost_ratio", telemetry_enabled_cost);
   gqs_bench::record("speedup", speedup);
   if (channel_cost > 1.2) {
     std::cerr << "enabled channel layer costs " << fmt_double(channel_cost, 2)
               << "x in events/sec, above the 1.2x bar\n";
+    return 1;
+  }
+  if (telemetry_overhead < 0.95) {
+    std::cerr << "disabled-mode telemetry costs more than 5% ("
+              << fmt_double(telemetry_overhead, 3) << " of slab rate)\n";
     return 1;
   }
   return 0;

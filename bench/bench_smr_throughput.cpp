@@ -217,6 +217,7 @@ struct smr_result {
   std::uint64_t escalations = 0;
   std::uint64_t view_changes = 0;
   double cmds_per_entry = 0;  ///< realized batching at the leaders
+  metrics_snapshot obs;       ///< registry snapshot (telemetry runs only)
   std::vector<double> latencies_us;
   std::vector<std::uint64_t> prefixes;  ///< converged per-shard prefixes
   /// Freshest applied (value, version) per key after convergence.
@@ -237,10 +238,13 @@ bool converged(const smr_world& w, std::uint64_t commands) {
 
 smr_result run_smr_pass(std::uint64_t seed, const shard_plan& plan,
                         std::uint64_t ops_per_process, bool check_histories,
-                        streaming_checker* live, std::string* live_why) {
+                        streaming_checker* live, std::string* live_why,
+                        bool telemetry = false) {
   const auto system = threshold_quorum_system(kN, 2);
+  network_options net = consensus_world::partial_sync();
+  net.telemetry = telemetry;
   smr_world w(system, fault_plan::none(kN), seed, kKeys,
-              engine_options(plan));
+              engine_options(plan), net);
   workload_driver<smr_adapter> driver(w.sim, w.adapter(),
                                       workload(ops_per_process));
   if (live) {
@@ -297,6 +301,7 @@ smr_result run_smr_pass(std::uint64_t seed, const shard_plan& plan,
   r.cmds_per_sec =
       r.wall_s > 0 ? static_cast<double>(r.completed) / r.wall_s : 0;
   r.messages = w.sim.metrics().messages_sent;
+  if (telemetry) r.obs = w.sim.obs().metrics.snapshot();
   r.latencies_us = driver.latencies_us();
   std::uint64_t entries = 0, applied_at_leaders = 0;
   for (const auto* node : w.nodes) {
@@ -335,6 +340,105 @@ smr_result run_smr_pass(std::uint64_t seed, const shard_plan& plan,
       r.why = "keyed checker fan-out differs across thread counts";
     }
   }
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Congested, fully-traced cell: finite-bandwidth links + metrics registry
+// + causal spans + gauge sampler, exporting a Chrome trace next to the
+// bench record. The in-bench bar checks that commit spans decompose:
+// every committed slot's root span carries a phase-2 child and a commit
+// child that starts no earlier than the phase-2 child ends, and link
+// queueing shows up as net.queue sub-spans under SMR protocol spans.
+
+struct traced_result {
+  bool ok = false;
+  std::string why;
+  std::uint64_t completed = 0;
+  std::size_t spans = 0;
+  std::size_t slots_decomposed = 0;  ///< roots with phase2 + commit kids
+  std::size_t queue_spans = 0;       ///< net.queue spans recorded
+  std::size_t queue_under_smr = 0;   ///< ...rooted under an smr span
+  std::size_t sample_points = 0;
+  metrics_snapshot obs;
+  std::string timeseries_json;
+  std::string trace_path;
+};
+
+traced_result run_traced_pass(std::uint64_t seed, const shard_plan& plan) {
+  const auto system = threshold_quorum_system(kN, 2);
+  network_options net = consensus_world::partial_sync();
+  net.channel.bytes_per_us = 0.5;  // finite links: queueing is visible
+  net.telemetry = true;
+  net.record_spans = true;
+  net.sample_period = 5000;  // one gauge sample every 5 simulated ms
+  smr_world w(system, fault_plan::none(kN), seed, kKeys,
+              engine_options(plan), net);
+  workload_driver<smr_adapter> driver(w.sim, w.adapter(),
+                                      workload(kCmdsPerProcess));
+  traced_result r;
+  driver.launch();
+  if (!w.sim.run_until_condition([&] { return driver.done(); },
+                                 w.sim.now() + 4 * kHorizon)) {
+    r.why = "traced pass did not complete";
+    return r;
+  }
+  w.sim.run_until(w.sim.now() + kQuiesce);  // commit broadcasts drain
+
+  obs_bundle& o = w.sim.obs();
+  o.tracer.finalize(w.sim.now());
+  const std::vector<span_rec>& spans = o.tracer.spans();
+
+  // Per-root decomposition: walk each span up to its root.
+  auto root_of = [&spans](const span_rec& s) -> const span_rec& {
+    const span_rec* cur = &s;
+    while (cur->parent != 0) cur = &spans[cur->parent - 1];
+    return *cur;
+  };
+  std::map<std::uint32_t, sim_time> phase2_end;   // root id -> child end
+  std::map<std::uint32_t, sim_time> commit_start;  // root id -> child start
+  for (const span_rec& s : spans) {
+    if (s.name == "smr.phase2" && s.parent != 0)
+      phase2_end[s.parent] = s.end;
+    else if (s.name == "smr.commit" && s.parent != 0)
+      commit_start[s.parent] = s.start;
+    else if (s.name == "net.queue") {
+      ++r.queue_spans;
+      if (root_of(s).category == "smr") ++r.queue_under_smr;
+    }
+  }
+  for (const auto& [root, p2_end] : phase2_end) {
+    const auto c = commit_start.find(root);
+    if (c == commit_start.end()) continue;
+    if (spans[root - 1].name != "smr.slot") continue;
+    if (c->second < p2_end) {
+      r.why = "commit span starts before its phase-2 span ends";
+      return r;
+    }
+    ++r.slots_decomposed;
+  }
+  if (r.slots_decomposed == 0) {
+    r.why = "no slot span decomposed into phase2 + commit children";
+    return r;
+  }
+  if (r.queue_under_smr == 0) {
+    r.why = "no link-queueing sub-span attached to an SMR span";
+    return r;
+  }
+
+  r.trace_path =
+      gqs_bench::out_dir_path() + "/bench_smr_throughput_trace.json";
+  if (!o.tracer.write_chrome_json(r.trace_path)) {
+    r.why = "cannot write " + r.trace_path;
+    return r;
+  }
+  for (const auto& series : o.sampler.all())
+    r.sample_points += series.points.size();
+  r.ok = true;
+  r.completed = driver.completed();
+  r.spans = spans.size();
+  r.obs = o.metrics.snapshot();
+  r.timeseries_json = o.sampler.to_json();
   return r;
 }
 
@@ -395,14 +499,16 @@ int bench_entry() {
             << " entries) converged, agreement clean, per-key histories "
                "linearizable (1- and 2-thread verdicts identical)\n";
 
-  // ---- runner-thread determinism of the sharded mode ----
+  // ---- runner-thread determinism of the sharded mode (telemetry on, so
+  // the registry aggregate is held to the same bit-identity bar) ----
   auto sharded_cell = [&plan](std::uint64_t seed) {
     return [&plan, seed] {
-      const smr_result p =
-          run_smr_pass(seed, plan, kCmdsPerProcess, false, nullptr, nullptr);
+      const smr_result p = run_smr_pass(seed, plan, kCmdsPerProcess, false,
+                                        nullptr, nullptr, /*telemetry=*/true);
       run_result r;
       r.ok = p.ok;
       r.latencies_us = p.latencies_us;
+      r.obs = p.obs;
       r.stats["completed"] = static_cast<double>(p.completed);
       r.stats["messages"] = static_cast<double>(p.messages);
       const std::uint64_t digest = client_state_digest(p);
@@ -416,24 +522,49 @@ int bench_entry() {
     det_specs.push_back({"sharded-" + std::to_string(s), sharded_cell(s)});
   const auto det1 = experiment_runner(1).run_all(det_specs);
   const auto det2 = experiment_runner(2).run_all(det_specs);
-  for (std::size_t i = 0; i < det_specs.size(); ++i) {
-    const bool same =
-        det1[i].ok == det2[i].ok &&
-        det1[i].latencies_us == det2[i].latencies_us &&
-        stat_or(det1[i], "completed") == stat_or(det2[i], "completed") &&
-        stat_or(det1[i], "messages") == stat_or(det2[i], "messages") &&
-        stat_or(det1[i], "digest_hi") == stat_or(det2[i], "digest_hi") &&
-        stat_or(det1[i], "digest_lo") == stat_or(det2[i], "digest_lo");
-    if (!same) {
-      std::cerr << "client-visible results differ across runner thread "
-                   "counts (cell "
-                << det_specs[i].label << ")\n";
-      return 1;
+  const auto det8 = experiment_runner(8).run_all(det_specs);
+  for (const auto* other : {&det2, &det8}) {
+    for (std::size_t i = 0; i < det_specs.size(); ++i) {
+      const run_result& a = det1[i];
+      const run_result& b = (*other)[i];
+      const bool same =
+          a.ok == b.ok && a.latencies_us == b.latencies_us &&
+          a.obs == b.obs && a.obs.digest() == b.obs.digest() &&
+          stat_or(a, "completed") == stat_or(b, "completed") &&
+          stat_or(a, "messages") == stat_or(b, "messages") &&
+          stat_or(a, "digest_hi") == stat_or(b, "digest_hi") &&
+          stat_or(a, "digest_lo") == stat_or(b, "digest_lo");
+      if (!same) {
+        std::cerr << "client-visible results differ across runner thread "
+                     "counts (cell "
+                  << det_specs[i].label << ")\n";
+        return 1;
+      }
     }
   }
+  const run_aggregate det_agg = aggregate(det1);
+  if (!(det_agg.obs == aggregate(det2).obs &&
+        det_agg.obs == aggregate(det8).obs)) {
+    std::cerr << "registry aggregates differ across runner thread counts\n";
+    return 1;
+  }
   std::cout << "determinism: " << det_specs.size()
-            << " sharded cells bit-identical across 1- and 2-thread "
-               "runners\n";
+            << " sharded cells (registry snapshots included) bit-identical "
+               "across 1-, 2- and 8-thread runners\n";
+
+  // ---- congested traced cell: Chrome trace + time-series export ----
+  const traced_result traced = run_traced_pass(11, plan);
+  if (!traced.ok) {
+    std::cerr << "traced cell failed: " << traced.why << "\n";
+    return 1;
+  }
+  std::cout << "traced cell: " << traced.spans << " spans ("
+            << traced.slots_decomposed
+            << " slot roots decomposed into phase2 + commit, "
+            << traced.queue_under_smr
+            << " queueing sub-spans under SMR spans), "
+            << traced.sample_points << " sampler points -> "
+            << traced.trace_path << "\n";
 
   // ---- raised validation pass (streaming + batch over 200k commands) ----
   std::uint64_t big_per_proc = 25000;
@@ -514,6 +645,15 @@ int bench_entry() {
   gqs_bench::record("view_changes", best_smr.view_changes);
   gqs_bench::record("workload_commands", best_smr.completed);
   gqs_bench::record("validated_commands", big.completed);
+  gqs_bench::record("trace_spans", static_cast<std::uint64_t>(traced.spans));
+  gqs_bench::record("trace_slots_decomposed",
+                    static_cast<std::uint64_t>(traced.slots_decomposed));
+  gqs_bench::record("trace_queue_spans",
+                    static_cast<std::uint64_t>(traced.queue_spans));
+  gqs_bench::record("trace_file", traced.trace_path);
+  gqs_bench::record_json("telemetry", traced.obs.to_json());
+  gqs_bench::record_json("timeseries", traced.timeseries_json);
+  gqs_bench::record_json("det_aggregate", to_json(det_agg));
 
   return speedup >= 5.0 ? 0 : 1;
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON export and print a latency report.
+
+Usage: obs_report.py <trace.json>
+
+Checks (non-zero exit on any failure):
+  - the file is valid JSON with a non-empty "traceEvents" array;
+  - every event carries the complete-event shape we emit (ph "X" with
+    name/cat/ts/dur/pid/tid and an args.span id);
+  - span ids are unique and every args.parent references an existing span;
+  - parents open before and close after each of their children (the
+    recorder's finalize() contract).
+
+On success prints a per-layer breakdown: for each (category, name) the
+event count, total and mean duration, so a congested run's commit latency
+can be eyeballed as phase/queueing sub-span shares.
+
+Stdlib only — runs in CI without any pip install.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(msg):
+    print(f"obs_report: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"cannot load {path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail("missing or empty traceEvents array")
+
+    spans = {}  # span id -> event
+    for i, ev in enumerate(events):
+        for key in REQUIRED:
+            if key not in ev:
+                return fail(f"event {i} missing field {key!r}")
+        if ev["ph"] != "X":
+            return fail(f"event {i}: unexpected phase {ev['ph']!r}")
+        if ev["dur"] < 0:
+            return fail(f"event {i} ({ev['name']}): negative duration")
+        sid = ev.get("args", {}).get("span")
+        if not isinstance(sid, int) or sid <= 0:
+            return fail(f"event {i} ({ev['name']}): missing args.span id")
+        if sid in spans:
+            return fail(f"duplicate span id {sid}")
+        spans[sid] = ev
+
+    for sid, ev in spans.items():
+        parent = ev.get("args", {}).get("parent", 0)
+        if parent == 0:
+            continue
+        if parent not in spans:
+            return fail(f"span {sid} ({ev['name']}): parent {parent} missing")
+        p = spans[parent]
+        if p["ts"] > ev["ts"] or p["ts"] + p["dur"] < ev["ts"] + ev["dur"]:
+            return fail(
+                f"span {sid} ({ev['name']}) escapes parent "
+                f"{parent} ({p['name']}): "
+                f"[{ev['ts']}, {ev['ts'] + ev['dur']}] not within "
+                f"[{p['ts']}, {p['ts'] + p['dur']}]"
+            )
+
+    by_layer = defaultdict(lambda: [0, 0])  # (cat, name) -> [count, total us]
+    for ev in events:
+        cell = by_layer[(ev["cat"], ev["name"])]
+        cell[0] += 1
+        cell[1] += ev["dur"]
+
+    print(f"obs_report: OK — {len(events)} spans in {path}")
+    print(f"{'category':<10} {'name':<24} {'count':>8} "
+          f"{'total us':>12} {'mean us':>10}")
+    for (cat, name), (count, total) in sorted(
+        by_layer.items(), key=lambda kv: (-kv[1][1], kv[0])
+    ):
+        print(f"{cat:<10} {name:<24} {count:>8} {total:>12} "
+              f"{total / count:>10.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

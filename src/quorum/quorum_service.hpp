@@ -357,6 +357,7 @@ class quorum_service : public component {
 
   void start() override {
     ensure_tables();
+    register_obs();
     gossip_timer_ = this->set_timer(options_.gossip_period);
   }
 
@@ -413,6 +414,7 @@ class quorum_service : public component {
     quorum_response_collector<std::uint64_t> clock_acks;
     bool have_cutoff = false;
     std::uint64_t cutoff = 0;
+    span_ref span;  // open from flush until the group completes
   };
   /// All quorum_sets flushed in one instant: one wire batch, one ack
   /// stream; the shared cutoff (max clock after the whole batch) is ≥
@@ -423,7 +425,55 @@ class quorum_service : public component {
     bool have_cutoff = false;
     std::uint64_t cutoff = 0;
     message_ptr wire;  // targeted mode: kept for escalation rebroadcast
+    span_ref span;     // open from flush until the group completes
   };
+
+  /// Binds this instance to the host's obs bundle (nullptr-safe; inert
+  /// when telemetry is off). Counters bridge as snapshot-time observers —
+  /// the service_counters struct stays the façade existing callers read.
+  void register_obs() {
+    obs_bundle* o = this->obs();
+    if (!o) return;
+    tracer_ = o->tracer.recording() ? &o->tracer : nullptr;
+    if (o->metrics.enabled()) {
+      const service_counters* c = &counters_;
+      const auto bridge = [&](const char* name, const std::uint64_t* cell) {
+        o->metrics.observe_counter(name, "", [cell] { return *cell; });
+      };
+      bridge("svc.ops_started", &c->ops_started);
+      bridge("svc.ops_completed", &c->ops_completed);
+      bridge("svc.flushes", &c->flushes);
+      bridge("svc.probes_sent", &c->probes_sent);
+      bridge("svc.set_batches_sent", &c->set_batches_sent);
+      bridge("svc.gossip_batches_sent", &c->gossip_batches_sent);
+      bridge("svc.nacks_sent", &c->nacks_sent);
+      bridge("svc.repairs_sent", &c->repairs_sent);
+      bridge("svc.targeted_probes", &c->targeted_probes);
+      bridge("svc.targeted_set_batches", &c->targeted_set_batches);
+      bridge("svc.escalations", &c->escalations);
+      o->metrics.observe_gauge("svc.gossip_backlog", "", [this] {
+        return static_cast<std::int64_t>(gossip_backlog());
+      });
+    }
+    if (o->sampler.enabled()) {
+      o->sampler.add_probe("svc.gossip_backlog", [this] {
+        return static_cast<std::int64_t>(gossip_backlog());
+      });
+      o->sampler.add_probe("svc.open_groups", [this] {
+        return static_cast<std::int64_t>(get_groups_.size() +
+                                         set_groups_.size());
+      });
+    }
+  }
+
+  span_ref open_group_span(const char* name) {
+    if (!tracer_) return {};
+    return tracer_->begin_span(name, "svc", this->id(), {}, this->now());
+  }
+
+  void close_group_span(span_ref s) {
+    if (tracer_) tracer_->end_span(s, this->now());
+  }
 
   void check_key(service_key key) const {
     if (key >= keys_)
@@ -450,19 +500,23 @@ class quorum_service : public component {
         const std::uint64_t req = ++probe_seq_;
         get_group& g = get_groups_[req];
         g.members = std::move(staged_gets_);
+        g.span = open_group_span("svc.get");
         ++counters_.probes_sent;
+        message_ptr probe = make_message<probe_msg>(req);
+        stamp_trace_span(probe, g.span);
         if (options_.selector) {
           ++counters_.targeted_probes;
           this->multicast(sample_targets(/*is_get=*/true, req),
-                          make_message<probe_msg>(req));
+                          std::move(probe));
           arm_escalation(/*is_get=*/true, req);
         } else {
-          this->broadcast(make_message<probe_msg>(req));
+          this->broadcast(std::move(probe));
         }
       } else {
         // Ablated: c_get = 0, any cached state qualifies.
         get_group& g = get_groups_[++probe_seq_];
         g.members = std::move(staged_gets_);
+        g.span = open_group_span("svc.get");
         g.have_cutoff = true;
       }
       staged_gets_.clear();
@@ -471,6 +525,7 @@ class quorum_service : public component {
       const std::uint64_t batch = ++batch_seq_;
       set_group& g = set_groups_[batch];
       g.members = std::move(staged_sets_);
+      g.span = open_group_span("svc.set");
       staged_sets_.clear();
       std::vector<set_entry> entries = set_pool_->acquire();
       entries.reserve(g.members.size());
@@ -483,6 +538,7 @@ class quorum_service : public component {
       counters_.set_entries_sent += entries.size();
       message_ptr wire = make_message<set_batch_msg>(
           batch, pooled_batch<set_entry>(std::move(entries), set_pool_));
+      stamp_trace_span(wire, g.span);
       if (options_.selector) {
         ++counters_.targeted_set_batches;
         g.wire = wire;  // for a possible escalation rebroadcast
@@ -529,11 +585,19 @@ class quorum_service : public component {
       const auto g = get_groups_.find(group_seq);
       if (g == get_groups_.end() || g->second.have_cutoff) return;
       ++counters_.escalations;
-      this->broadcast(make_message<probe_msg>(group_seq));
+      if (tracer_)
+        tracer_->leaf("svc.escalate", "svc", this->id(), g->second.span,
+                      this->now());
+      message_ptr probe = make_message<probe_msg>(group_seq);
+      stamp_trace_span(probe, g->second.span);
+      this->broadcast(std::move(probe));
     } else {
       const auto g = set_groups_.find(group_seq);
       if (g == set_groups_.end() || g->second.have_cutoff) return;
       ++counters_.escalations;
+      if (tracer_)
+        tracer_->leaf("svc.escalate", "svc", this->id(), g->second.span,
+                      this->now());
       this->broadcast(g->second.wire);
     }
   }
@@ -579,6 +643,8 @@ class quorum_service : public component {
       if (++s.gap_ticks < options_.nack_gap_ticks) continue;
       s.gap_ticks = 0;
       ++counters_.nacks_sent;
+      if (tracer_)
+        tracer_->leaf("svc.nack", "svc", this->id(), {}, this->now());
       this->unicast(q, make_message<nack_msg>(s.next_expected()));
     }
   }
@@ -659,6 +725,7 @@ class quorum_service : public component {
       // Ablated: complete as soon as a write quorum acknowledged.
       set_group g = std::move(it->second);
       set_groups_.erase(it);
+      close_group_span(g.span);
       for (staged_set& s : g.members) complete_set(std::move(s));
       recheck_waits();
       return;
@@ -705,6 +772,7 @@ class quorum_service : public component {
         if (!r) continue;
         get_group g = std::move(it->second);
         get_groups_.erase(it);
+        close_group_span(g.span);
         for (staged_get& m : g.members) complete_get(std::move(m), *r);
         progress = true;
         break;
@@ -715,6 +783,7 @@ class quorum_service : public component {
         if (!fresh_quorum(it->second.cutoff)) continue;
         set_group g = std::move(it->second);
         set_groups_.erase(it);
+        close_group_span(g.span);
         for (staged_set& m : g.members) complete_set(std::move(m));
         progress = true;
         break;
@@ -757,6 +826,7 @@ class quorum_service : public component {
   std::shared_ptr<batch_pool<gossip_entry>> gossip_pool_;
 
   service_counters counters_;
+  trace_recorder* tracer_ = nullptr;  // non-null iff spans are recording
 
   /// Repair side: answer a NACK with a cumulative batch of every key
   /// changed since the requested gap began (over-approximated through the
@@ -773,6 +843,8 @@ class quorum_service : public component {
       if (key_clock_[k] > floor)
         entries.push_back(gossip_entry{k, states_[k], key_clock_[k]});
     ++counters_.repairs_sent;
+    if (tracer_)
+      tracer_->leaf("svc.repair", "svc", this->id(), {}, this->now());
     this->unicast(origin, make_message<repair_msg>(
                               gossip_seq_, last_gossip_clock_,
                               std::move(entries)));

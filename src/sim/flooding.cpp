@@ -2,6 +2,20 @@
 
 namespace gqs {
 
+void flooding_node::on_attach() {
+  obs_bundle& o = sim().obs();
+  if (o.metrics.enabled()) {
+    o.metrics.observe_gauge("flood.dedup_backlog", "", [this] {
+      return static_cast<std::int64_t>(dedup_backlog());
+    });
+  }
+  if (o.sampler.enabled()) {
+    o.sampler.add_probe("flood.dedup_backlog", [this] {
+      return static_cast<std::int64_t>(dedup_backlog());
+    });
+  }
+}
+
 void flooding_node::on_message(process_id from, const message_ptr& m) {
   // Tag dispatch: every envelope is built in originate() and tagged there,
   // so the hot path is one pointer compare (untagged messages, which only

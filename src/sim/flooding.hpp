@@ -84,6 +84,10 @@ class flooding_node : public node {
     return total;
   }
 
+  /// Registers the dedup backlog as an observed gauge and sampler probe
+  /// (summed across nodes) when the run's telemetry is on.
+  void on_attach() override;
+
  protected:
   /// Sends payload to a single destination, routed around channel failures
   /// by flooding. Delivery to self is immediate (same instant, new event).
@@ -117,7 +121,9 @@ class flooding_node : public node {
     message_ptr payload;
 
     direct_msg(process_id o, message_ptr p)
-        : origin(o), payload(std::move(p)) {}
+        : origin(o), payload(std::move(p)) {
+      if (payload) trace_span = payload->trace_span;  // ride the span
+    }
     std::string debug_name() const override { return "direct"; }
     std::size_t wire_size() const override {
       return 16 + payload->wire_size();  // origin + framing
@@ -131,7 +137,9 @@ class flooding_node : public node {
     message_ptr payload;
 
     envelope(process_id o, std::uint64_t s, process_id d, message_ptr p)
-        : origin(o), seq(s), dest(d), payload(std::move(p)) {}
+        : origin(o), seq(s), dest(d), payload(std::move(p)) {
+      if (payload) trace_span = payload->trace_span;  // ride the span
+    }
     std::string debug_name() const override { return "envelope"; }
     std::size_t wire_size() const override {
       return 24 + payload->wire_size();  // origin + seq + dest + framing

@@ -18,6 +18,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace gqs {
 
 /// Identity of a concrete message type: the address of a per-type
@@ -47,6 +49,12 @@ struct message {
   /// nullptr for messages built by hand (which message_cast then resolves
   /// via dynamic_cast).
   message_type_tag type_tag = nullptr;
+
+  /// Causal span this message belongs to (null by default). Stamped
+  /// post-construction by the sender via stamp_trace_span; wrapper
+  /// messages (flooding envelopes, mux tags) copy it from their payload so
+  /// the channel layer and the receiver see the originating span.
+  span_ref trace_span;
 };
 
 using message_ptr = std::shared_ptr<const message>;
@@ -57,6 +65,14 @@ message_ptr make_message(Args&&... args) {
   auto m = std::make_shared<M>(std::forward<Args>(args)...);
   m->type_tag = message_tag_of<M>();
   return m;
+}
+
+/// Attaches a causal span to an already-constructed (shared, logically
+/// immutable) message — the same post-construction stamping pattern as
+/// type_tag in make_message. No-op for null refs so senders can stamp
+/// unconditionally.
+inline void stamp_trace_span(const message_ptr& m, span_ref s) {
+  if (m && s.valid()) const_cast<message*>(m.get())->trace_span = s;
 }
 
 /// Downcast helper; returns nullptr if the message is not an M. Tagged

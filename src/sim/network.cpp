@@ -62,7 +62,7 @@ link_network::admit_result link_network::transmit(process_id from,
   if (options_.queue_capacity != 0 && l.depth >= options_.queue_capacity) {
     ++l.stats.drops;
     ++total_drops_;
-    return admit_result{false, 0};
+    return admit_result{false, 0, 0, 0};
   }
 
   double rate = options_.bytes_per_us;
@@ -102,7 +102,7 @@ link_network::admit_result link_network::transmit(process_id from,
 
   ++l.stats.messages;
   l.stats.bytes += bytes;
-  return admit_result{true, arrival};
+  return admit_result{true, arrival, start, depart};
 }
 
 std::uint32_t link_network::credits(process_id from, process_id to,

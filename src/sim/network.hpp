@@ -85,6 +85,12 @@ class link_network {
   struct admit_result {
     bool accepted = false;
     sim_time arrival = 0;  ///< delivery instant (meaningful iff accepted)
+    // Serialization interval (meaningful iff accepted): the message waits
+    // in the link queue during [send, serialize_start) and occupies the
+    // serializer during [serialize_start, depart). Consumed by the trace
+    // layer for queueing/serialization sub-spans.
+    sim_time serialize_start = 0;
+    sim_time depart = 0;
   };
 
   /// Offers `bytes` for transmission on link (from, to) at time `now`

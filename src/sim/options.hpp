@@ -34,10 +34,20 @@ struct network_options {
   sim_time delta = 10000;       // post-GST delay bound
   channel_options channel;      // disabled unless bytes_per_us > 0
 
+  // ---- observability switches (src/obs), all off by default ----
+  // Telemetry never feeds back into protocol behaviour (probes and spans
+  // only read state; no RNG, no events), so flipping these cannot change
+  // what a run does — only what it records.
+  bool telemetry = false;       ///< arm the metrics registry
+  bool record_spans = false;    ///< record causal spans + net leaf events
+  sim_time sample_period = 0;   ///< gauge sampling period; 0 = off
+
   void validate() const {
     if (min_delay <= 0 || max_delay < min_delay || delta < min_delay)
       throw std::invalid_argument("network_options: bad delay bounds");
     if (gst < 0) throw std::invalid_argument("network_options: bad gst");
+    if (sample_period < 0)
+      throw std::invalid_argument("network_options: bad sample_period");
     channel.validate();
   }
 };

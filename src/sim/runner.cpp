@@ -16,6 +16,7 @@ run_aggregate aggregate(const std::vector<run_result>& results) {
     ++a.runs;
     if (!r.ok) ++a.failed;
     a.totals += r.metrics;
+    a.obs.merge(r.obs);
     a.wall_ms += r.wall_ms;
     latencies.add(r.latencies_us);
     link_bytes.add(r.link_bytes);
@@ -54,8 +55,9 @@ std::string to_json(const run_aggregate& a) {
       << ", \"p99\": " << fmt_json_double(a.link_bytes.p99)
       << ", \"max\": " << fmt_json_double(a.link_bytes.max) << "}"
       << ", \"wall_ms\": " << fmt_json_double(a.wall_ms)
-      << ", \"events_per_sec\": " << fmt_json_double(a.events_per_sec)
-      << "}";
+      << ", \"events_per_sec\": " << fmt_json_double(a.events_per_sec);
+  if (!a.obs.empty()) out << ", \"obs\": " << a.obs.to_json();
+  out << "}";
   return out.str();
 }
 

@@ -36,6 +36,11 @@ struct run_result {
   /// aggregates expose the byte-imbalance across links.
   std::vector<double> link_bytes;
   std::map<std::string, double> stats;  ///< protocol-specific outputs
+  /// Telemetry snapshot (simulation::obs().metrics.snapshot(); empty when
+  /// the run's telemetry is off). Mergeable — aggregation is exact.
+  metrics_snapshot obs;
+  /// Time-series captured by the run's sampler (empty when off).
+  std::vector<timeseries_sampler::series> series;
   double wall_ms = 0;  ///< host time (excluded from determinism)
 };
 
@@ -54,6 +59,9 @@ struct run_aggregate {
   sim_metrics totals;
   sample_summary latency_us;
   sample_summary link_bytes;  ///< per-link byte distribution (channel runs)
+  /// Telemetry registries merged in spec order — counters sum, gauges sum,
+  /// histograms merge bucket-wise; bit-identical at any thread count.
+  metrics_snapshot obs;
   double wall_ms = 0;         ///< summed across cells (CPU-seconds-ish)
   double events_per_sec = 0;  ///< totals.events_processed per wall second
 };

@@ -19,6 +19,41 @@ simulation::simulation(process_id n, network_options net, fault_plan faults,
   net_.validate();
   channels_ = link_network(n, net_.channel);
   wheel_.configure(std::max(net_.max_delay, net_.delta));
+  if (net_.telemetry) obs_.metrics.enable();
+  if (net_.record_spans) obs_.tracer.start_recording();
+  if (net_.sample_period > 0) obs_.sampler.configure(net_.sample_period);
+  register_obs_bridges();
+}
+
+void simulation::register_obs_bridges() {
+  if (obs_.metrics.enabled()) {
+    // sim_metrics stays the façade every existing call site reads; the
+    // registry sees the same cells through snapshot-time observers.
+    const sim_metrics* m = &metrics_;
+    const auto bridge = [&](const char* name, const std::uint64_t* cell) {
+      obs_.metrics.observe_counter(name, "", [cell] { return *cell; });
+    };
+    bridge("sim.messages_sent", &m->messages_sent);
+    bridge("sim.messages_delivered", &m->messages_delivered);
+    bridge("sim.dropped_disconnected", &m->dropped_disconnected);
+    bridge("sim.dropped_receiver_crashed", &m->dropped_receiver_crashed);
+    bridge("sim.timers_fired", &m->timers_fired);
+    bridge("sim.events_processed", &m->events_processed);
+    bridge("sim.bytes_sent", &m->bytes_sent);
+    bridge("sim.bytes_delivered", &m->bytes_delivered);
+    bridge("sim.dropped_queue_full", &m->dropped_queue_full);
+    obs_.metrics.observe_gauge("sim.max_link_queue_depth", "", [m] {
+      return static_cast<std::int64_t>(m->max_link_queue_depth);
+    });
+  }
+  if (obs_.sampler.enabled() && channels_.enabled()) {
+    obs_.sampler.add_probe(
+        "net.max_link_queue_depth",
+        [this] {
+          return static_cast<std::int64_t>(channels_.max_queue_depth());
+        },
+        timeseries_sampler::agg::max);
+  }
 }
 
 simulation::~simulation() = default;
@@ -29,6 +64,7 @@ void simulation::set_node(process_id p, std::unique_ptr<node> nd) {
   if (started_)
     throw std::logic_error("simulation: set_node after start");
   nd->attach(this, p);
+  nd->on_attach();
   nodes_[p] = std::move(nd);
 }
 
@@ -165,15 +201,14 @@ sim_time simulation::draw_delay() {
 }
 
 void simulation::emit_trace(trace_event::kind what, process_id from,
-                            process_id to, const message* m) const {
-  if (!trace_) return;
+                            process_id to, const message* m) {
   trace_event ev;
   ev.what = what;
   ev.at = now_;
   ev.from = from;
   ev.to = to;
   if (m) ev.label = m->debug_name();
-  trace_(ev);
+  obs_.tracer.network_event(ev, m ? m->trace_span : span_ref{});
 }
 
 void simulation::send(process_id from, process_id to, message_ptr m) {
@@ -185,10 +220,11 @@ void simulation::send(process_id from, process_id to, message_ptr m) {
   const std::size_t epoch = current_epoch();
   if (!epochs_.alive(epoch, from)) return;  // crashed sender takes no steps
   ++metrics_.messages_sent;
-  if (trace_) emit_trace(trace_event::kind::send, from, to, m.get());
+  const bool traced = obs_.tracer.active();
+  if (traced) emit_trace(trace_event::kind::send, from, to, m.get());
   if (!epochs_.channel_up(epoch, from, to)) {
     ++metrics_.dropped_disconnected;
-    if (trace_) emit_trace(trace_event::kind::drop_channel, from, to, m.get());
+    if (traced) emit_trace(trace_event::kind::drop_channel, from, to, m.get());
     return;
   }
   // The propagation delay is drawn before the channel layer is consulted
@@ -202,12 +238,21 @@ void simulation::send(process_id from, process_id to, message_ptr m) {
         channels_.transmit(from, to, bytes, now_, arrival - now_);
     if (!admitted.accepted) {
       ++metrics_.dropped_queue_full;
-      if (trace_) emit_trace(trace_event::kind::drop_queue, from, to, m.get());
+      if (traced) emit_trace(trace_event::kind::drop_queue, from, to, m.get());
       return;
     }
     metrics_.bytes_sent += bytes;
     if (metrics_.max_link_queue_depth < channels_.max_queue_depth())
       metrics_.max_link_queue_depth = channels_.max_queue_depth();
+    if (obs_.tracer.recording() && m->trace_span.valid()) {
+      // Decompose the wire time under the message's causal span: FIFO
+      // wait behind the serializer, then occupancy of the serializer.
+      if (admitted.serialize_start > now_)
+        obs_.tracer.span("net.queue", "net", from, m->trace_span, now_,
+                         admitted.serialize_start);
+      obs_.tracer.span("net.serialize", "net", from, m->trace_span,
+                       admitted.serialize_start, admitted.depart);
+    }
     arrival = admitted.arrival;
   }
   const std::uint32_t slot = alloc_record();
@@ -254,6 +299,7 @@ bool simulation::pop_and_dispatch(sim_time horizon) {
   if (top.at < now_)
     throw std::logic_error("simulation: time went backwards");
   now_ = top.at;
+  if (now_ >= obs_.sampler.next_due()) obs_.sampler.sample_due(now_);
   // Move the payload out before dispatching: the handler may schedule new
   // events, which can both reuse the freed slot and grow the slab
   // (invalidating references into it). Only the fields the event kind
@@ -275,12 +321,13 @@ bool simulation::pop_and_dispatch(sim_time horizon) {
       free_slots_.push_back(top.slot);
       if (!epochs_.alive(epoch, b)) {
         ++metrics_.dropped_receiver_crashed;
-        if (trace_)
+        if (obs_.tracer.active())
           emit_trace(trace_event::kind::drop_crashed, a, b, msg.get());
       } else {
         ++metrics_.messages_delivered;
         if (channels_.enabled()) metrics_.bytes_delivered += msg->wire_size();
-        if (trace_) emit_trace(trace_event::kind::deliver, a, b, msg.get());
+        if (obs_.tracer.active())
+          emit_trace(trace_event::kind::deliver, a, b, msg.get());
         nodes_[b]->on_message(a, msg);
       }
       break;
@@ -288,7 +335,8 @@ bool simulation::pop_and_dispatch(sim_time horizon) {
       free_slots_.push_back(top.slot);
       if (epochs_.alive(epoch, a)) {
         ++metrics_.timers_fired;
-        if (trace_) emit_trace(trace_event::kind::timer, a, a, nullptr);
+        if (obs_.tracer.active())
+          emit_trace(trace_event::kind::timer, a, a, nullptr);
         nodes_[a]->on_timer(timer_id);
       }
       break;

@@ -21,6 +21,7 @@
 #include <random>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/epochs.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
@@ -65,28 +66,9 @@ inline sim_metrics& operator+=(sim_metrics& a, const sim_metrics& b) {
   return a;
 }
 
-/// One network-level event for tracing/debugging.
-struct trace_event {
-  enum class kind {
-    send,            ///< message put on a channel
-    deliver,         ///< message handed to a live receiver
-    drop_channel,    ///< send on a disconnected channel
-    drop_crashed,    ///< delivery to a crashed receiver
-    drop_queue,      ///< send into a full link queue (bandwidth model)
-    timer,           ///< timer fired at a live process
-  };
-  kind what = kind::send;
-  sim_time at = 0;
-  process_id from = 0;
-  process_id to = 0;
-  std::string label;  ///< message::debug_name(), empty for timers
-
-  bool operator==(const trace_event&) const = default;
-};
-
-/// Receives every trace_event as it happens. Keep it cheap: it runs inside
-/// the event loop.
-using trace_sink = std::function<void(const trace_event&)>;
+// trace_event / trace_sink moved to obs/trace.hpp (re-exported via the
+// obs/obs.hpp include above) so the legacy network event stream and the
+// span layer share one recorder.
 
 /// The simulation world.
 class simulation {
@@ -172,7 +154,17 @@ class simulation {
   int set_timer(process_id p, sim_time delay);
 
   /// Installs (or clears, with nullptr) a network-event trace sink.
-  void set_trace(trace_sink sink) { trace_ = std::move(sink); }
+  /// Forwarded through the trace recorder so sink consumers and span
+  /// recording share one dispatch pipeline (see obs/trace.hpp).
+  void set_trace(trace_sink sink) {
+    obs_.tracer.set_event_sink(std::move(sink));
+  }
+
+  /// This run's observability surface (metrics registry, span recorder,
+  /// gauge sampler). Armed from network_options at construction; inert —
+  /// and free on the hot path — otherwise.
+  obs_bundle& obs() noexcept { return obs_; }
+  const obs_bundle& obs() const noexcept { return obs_; }
 
  private:
   enum class event_kind : std::uint8_t { start, deliver, timer, post };
@@ -259,7 +251,8 @@ class simulation {
   bool pop_and_dispatch(sim_time horizon);
   sim_time draw_delay();
   void emit_trace(trace_event::kind what, process_id from, process_id to,
-                  const message* m) const;
+                  const message* m);
+  void register_obs_bridges();
 
   process_id n_;
   network_options net_;
@@ -274,7 +267,7 @@ class simulation {
   bool started_ = false;
   mutable std::size_t epoch_cursor_ = 0;
   sim_metrics metrics_;
-  trace_sink trace_;
+  obs_bundle obs_;
   std::vector<event_record> slab_;
   std::vector<std::uint32_t> free_slots_;
   event_wheel wheel_;
@@ -297,6 +290,11 @@ class node {
   }
 
   process_id id() const noexcept { return id_; }
+
+  /// Called once by simulation::set_node right after attach(): the
+  /// simulation (and its obs bundle) is reachable, the run has not
+  /// started. Nodes self-register observability instruments here.
+  virtual void on_attach() {}
 
   virtual void on_start() {}
   virtual void on_message(process_id from, const message_ptr& m) = 0;

@@ -39,6 +39,10 @@ class transport {
   virtual process_id self() const = 0;
   virtual process_id size() const = 0;
   virtual sim_time now() const = 0;
+  /// The host's observability surface; nullptr when the transport has none
+  /// (bespoke test transports need not care). Components self-register
+  /// instruments and open spans through it.
+  virtual obs_bundle* obs() const { return nullptr; }
 };
 
 /// A protocol building block, bound to a transport by its host.
@@ -67,6 +71,9 @@ class component {
     tr().multicast(dests, std::move(m));
   }
   int set_timer(sim_time delay) { return tr().set_timer(delay); }
+
+  /// Null-safe observability accessor (nullptr before bind() too).
+  obs_bundle* obs() const { return tr_ ? tr_->obs() : nullptr; }
 
  private:
   transport& tr() const {
@@ -113,6 +120,7 @@ class single_host : public flooding_node, private transport {
   process_id self() const override { return node::id(); }
   process_id size() const override { return node::system_size(); }
   sim_time now() const override { return node::now(); }
+  obs_bundle* obs() const override { return &node::sim().obs(); }
 
   std::unique_ptr<component> comp_;
 };
@@ -172,7 +180,9 @@ class mux_host : public flooding_node {
   struct tagged : message {
     int instance;
     message_ptr inner;
-    tagged(int i, message_ptr m) : instance(i), inner(std::move(m)) {}
+    tagged(int i, message_ptr m) : instance(i), inner(std::move(m)) {
+      if (inner) trace_span = inner->trace_span;  // wrapper rides the span
+    }
     std::string debug_name() const override { return "mux"; }
     std::size_t wire_size() const override {
       return 8 + inner->wire_size();  // instance tag + payload
@@ -201,6 +211,7 @@ class mux_host : public flooding_node {
     process_id self() const override { return host_->node::id(); }
     process_id size() const override { return host_->node::system_size(); }
     sim_time now() const override { return host_->node::now(); }
+    obs_bundle* obs() const override { return &host_->sim().obs(); }
 
    private:
     mux_host* host_;

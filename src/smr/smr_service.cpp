@@ -96,6 +96,7 @@ std::uint64_t smr_service::applied_prefix(std::size_t shard) const {
 // lifecycle
 
 void smr_service::start() {
+  register_obs();
   const process_id n = system_size();
   quorum_hits_.assign(n, 0);
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
@@ -108,6 +109,67 @@ void smr_service::start() {
       arm_lease(s);
   }
   retry_timer_ = set_timer(std::max<sim_time>(options_.resubmit_timeout / 2, 1));
+}
+
+void smr_service::register_obs() {
+  obs_bundle* o = obs();
+  if (!o) return;
+  tracer_ = o->tracer.recording() ? &o->tracer : nullptr;
+  if (o->metrics.enabled()) {
+    const smr_counters* c = &counters_;
+    const auto bridge = [&](const char* name, const std::uint64_t* cell) {
+      o->metrics.observe_counter(name, "", [cell] { return *cell; });
+    };
+    bridge("smr.commands_submitted", &c->commands_submitted);
+    bridge("smr.commands_forwarded", &c->commands_forwarded);
+    bridge("smr.commands_applied", &c->commands_applied);
+    bridge("smr.commands_deduped", &c->commands_deduped);
+    bridge("smr.entries_proposed", &c->entries_proposed);
+    bridge("smr.entries_committed", &c->entries_committed);
+    bridge("smr.phase1_rounds", &c->phase1_rounds);
+    bridge("smr.targeted_phase1", &c->targeted_phase1);
+    bridge("smr.targeted_phase2", &c->targeted_phase2);
+    bridge("smr.escalations", &c->escalations);
+    bridge("smr.view_changes", &c->view_changes);
+    bridge("smr.heartbeats", &c->heartbeats);
+    bridge("smr.retries", &c->retries);
+    o->metrics.observe_gauge("smr.inflight", "", [this] {
+      std::int64_t total = 0;
+      for (const shard_state& ss : shards_)
+        total += static_cast<std::int64_t>(ss.inflight.size());
+      return total;
+    });
+  }
+  if (o->sampler.enabled()) {
+    o->sampler.add_probe("smr.inflight", [this] {
+      std::int64_t total = 0;
+      for (const shard_state& ss : shards_)
+        total += static_cast<std::int64_t>(ss.inflight.size());
+      return total;
+    });
+    o->sampler.add_probe("smr.staged", [this] {
+      std::int64_t total = 0;
+      for (const shard_state& ss : shards_)
+        total += static_cast<std::int64_t>(ss.staged.size() +
+                                           ss.fwd_staged.size());
+      return total;
+    });
+    o->sampler.add_probe("smr.pending", [this] {
+      std::int64_t total = 0;
+      for (const shard_state& ss : shards_)
+        total += static_cast<std::int64_t>(ss.pending.size());
+      return total;
+    });
+    o->sampler.add_probe(
+        "smr.view",
+        [this] {
+          std::int64_t hi = 0;
+          for (const shard_state& ss : shards_)
+            hi = std::max(hi, static_cast<std::int64_t>(ss.view));
+          return hi;
+        },
+        timeseries_sampler::agg::max);
+  }
 }
 
 void smr_service::on_timeout(int timer_id) {
@@ -173,6 +235,7 @@ void smr_service::renew_lease(std::uint32_t shard) {
 void smr_service::lease_expired(std::uint32_t shard) {
   shard_state& ss = shards_[shard];
   ++counters_.view_changes;
+  if (tracer_) tracer_->leaf("smr.view_change", "smr", id(), {}, now());
   ++ss.view;
   ss.leader_activity = now();
   if (leader_of(shard, ss.view) == id())
@@ -199,6 +262,18 @@ void smr_service::step_down(std::uint32_t shard) {
   ss.phase1_inflight = false;
   ss.p1bs = {};
   ss.inflight.clear();
+  if (tracer_) {
+    // Abandoned rounds: close their spans here rather than letting
+    // finalize() stretch them to the end of the run.
+    if (ss.phase1_span.valid()) {
+      tracer_->end_span(ss.phase1_span, now());
+      ss.phase1_span = {};
+    }
+    for (auto& [slot, sp] : ss.phase2_spans) tracer_->end_span(sp, now());
+    ss.phase2_spans.clear();
+    for (auto& [slot, sp] : ss.slot_spans) tracer_->end_span(sp, now());
+    ss.slot_spans.clear();
+  }
   // Undecided batches are not lost: re-route their commands towards the
   // new leader (duplicates are deduplicated at application).
   if (!ss.staged.empty()) {
@@ -239,6 +314,8 @@ void smr_service::submit(smr_command cmd, pending_cmd rec) {
   cmd.submit_seq = ss.next_seq++;
   rec.cmd = cmd;
   rec.issued_at = now();
+  if (tracer_)
+    rec.span = tracer_->begin_span("smr.submit", "smr", id(), {}, now());
   ++counters_.commands_submitted;
   ss.pending.emplace(cmd.submit_seq, std::move(rec));
   route(shard, cmd);
@@ -325,6 +402,10 @@ void smr_service::begin_phase1(std::uint32_t shard) {
   ss.promised = ss.view;  // self-promise
   const std::uint64_t floor = ss.applied;
   auto wire = make_message<p1a_msg>(shard, ss.view, floor);
+  if (tracer_) {
+    ss.phase1_span = tracer_->begin_span("smr.phase1", "smr", id(), {}, now());
+    stamp_trace_span(wire, ss.phase1_span);
+  }
   if (const selector_ptr sel = selector_for(shard)) {
     ++counters_.targeted_phase1;
     process_set targets = sample_targets(shard, /*is_phase1=*/true);
@@ -361,6 +442,10 @@ void smr_service::finish_phase1(std::uint32_t shard,
   ss.phase1_inflight = false;
   ss.leading = true;
   ss.commit_sent = ss.applied;
+  if (tracer_ && ss.phase1_span.valid()) {
+    tracer_->end_span(ss.phase1_span, now());
+    ss.phase1_span = {};
+  }
 
   // Aggregate the quorum's reports (plus our own acceptor state, whether
   // or not we are in the covered quorum) per slot.
@@ -421,6 +506,20 @@ void smr_service::begin_phase2(std::uint32_t shard, std::uint64_t slot,
   ++counters_.entries_proposed;  // one Phase-2 round per entry
   ss.accepted[slot] = accepted_rec<smr_entry_ptr>{ss.view, entry};  // self
   auto wire = make_message<p2a_msg>(shard, ss.view, slot, entry);
+  if (tracer_) {
+    // One root span per (shard, slot), open until the commit announcement.
+    // The p2a wire rides the ROOT, not the phase-2 child: net sub-spans
+    // must not widen phase2.end past the commit span's start.
+    span_ref root = ss.slot_spans[slot];
+    if (!root.valid()) {
+      root = tracer_->begin_span("smr.slot", "smr", id(), {}, now());
+      ss.slot_spans[slot] = root;
+    }
+    if (!ss.phase2_spans[slot].valid())
+      ss.phase2_spans[slot] =
+          tracer_->begin_span("smr.phase2", "smr", id(), root, now());
+    stamp_trace_span(wire, root);
+  }
   inflight_round round;
   round.entry = std::move(entry);
   round.wire = wire;
@@ -445,6 +544,13 @@ void smr_service::phase2_won(std::uint32_t shard, std::uint64_t slot) {
   if (it == ss.inflight.end()) return;
   smr_entry_ptr entry = it->second.entry;
   ss.inflight.erase(it);
+  if (tracer_) {
+    const auto p2 = ss.phase2_spans.find(slot);
+    if (p2 != ss.phase2_spans.end()) {
+      tracer_->end_span(p2->second, now());
+      ss.phase2_spans.erase(p2);
+    }
+  }
   mark_chosen(shard, slot, entry);
   announce_commits(shard);
   apply_prefix(shard);
@@ -458,8 +564,19 @@ void smr_service::announce_commits(std::uint32_t shard) {
   if (!ss.leading) return;
   while (ss.commit_sent < ss.chosen.size() && ss.chosen[ss.commit_sent]) {
     ++counters_.entries_committed;
-    broadcast(make_message<commit_msg>(shard, ss.view, ss.commit_sent,
-                                       ss.chosen[ss.commit_sent]));
+    auto wire = make_message<commit_msg>(shard, ss.view, ss.commit_sent,
+                                         ss.chosen[ss.commit_sent]);
+    if (tracer_) {
+      const auto root = ss.slot_spans.find(ss.commit_sent);
+      if (root != ss.slot_spans.end()) {
+        const span_ref commit = tracer_->span("smr.commit", "smr", id(),
+                                              root->second, now(), now());
+        stamp_trace_span(wire, commit);
+        tracer_->end_span(root->second, now());
+        ss.slot_spans.erase(root);
+      }
+    }
+    broadcast(std::move(wire));
     ++ss.commit_sent;
   }
 }
@@ -514,6 +631,7 @@ void smr_service::apply_entry(std::uint32_t shard, const smr_entry& entry) {
       if (p != ss.pending.end()) {
         pending_cmd rec = std::move(p->second);
         ss.pending.erase(p);
+        if (tracer_ && rec.span.valid()) tracer_->end_span(rec.span, now());
         if (cmd.is_read)
           rec.rdone(states_[cmd.key].value, states_[cmd.key].version);
         else
@@ -634,12 +752,22 @@ void smr_service::escalate(const timer_ref& ref) {
   if (ref.kind == timer_ref::kind_t::escalate1) {
     if (!ss.phase1_inflight || ss.view != ref.seq) return;  // completed
     ++counters_.escalations;
-    broadcast(make_message<p1a_msg>(ref.shard, ss.view, ss.applied));
+    if (tracer_)
+      tracer_->leaf("smr.escalate", "smr", id(), ss.phase1_span, now());
+    auto wire = make_message<p1a_msg>(ref.shard, ss.view, ss.applied);
+    stamp_trace_span(wire, ss.phase1_span);
+    broadcast(std::move(wire));
     return;
   }
   const auto it = ss.inflight.find(ref.seq);
   if (!ss.leading || it == ss.inflight.end()) return;  // decided already
   ++counters_.escalations;
+  if (tracer_) {
+    const auto root = ss.slot_spans.find(ref.seq);
+    tracer_->leaf("smr.escalate", "smr", id(),
+                  root != ss.slot_spans.end() ? root->second : span_ref{},
+                  now());
+  }
   broadcast(it->second.wire);
 }
 

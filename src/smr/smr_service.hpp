@@ -305,6 +305,7 @@ class smr_service : public component {
     sim_time issued_at = 0;
     write_callback wdone;
     read_callback rdone;
+    span_ref span;  ///< "smr.submit", open until applied here
   };
 
   /// Per-shard protocol state at this replica.
@@ -333,6 +334,10 @@ class smr_service : public component {
     sim_time leader_activity = 0;  ///< lazily-checked lease renewal
     bool lease_armed = false;      ///< one outstanding lease timer
     bool dirty = false;  ///< staged/fwd_staged non-empty this instant
+    // -- tracing (populated only while a trace is recorded) --
+    span_ref phase1_span;                         ///< open "smr.phase1"
+    std::map<std::uint64_t, span_ref> slot_spans;  ///< root "smr.slot"
+    std::map<std::uint64_t, span_ref> phase2_spans;  ///< "smr.phase2" child
   };
 
   struct timer_ref {
@@ -400,6 +405,10 @@ class smr_service : public component {
   void reply(std::uint32_t shard, process_id origin, message_ptr m);
   void retry_tick();
 
+  /// Binds counters/gauges/probes onto the host's observability surface
+  /// (no-op without one) and latches tracer_ when spans are recorded.
+  void register_obs();
+
   service_key keys_;
   quorum_config config_;
   smr_options options_;
@@ -415,6 +424,7 @@ class smr_service : public component {
   std::map<int, timer_ref> timers_;
   std::vector<std::uint64_t> quorum_hits_;
   smr_counters counters_;
+  trace_recorder* tracer_ = nullptr;  ///< non-null iff recording spans
   std::optional<std::string> safety_violation_;
 };
 

@@ -1,0 +1,450 @@
+// Tests for the observability subsystem (src/obs): log-bucketed histogram
+// merge/percentile properties, the metrics registry and its deterministic
+// snapshot/merge pipeline through the experiment runner, the time-series
+// sampler, the span recorder's well-formedness contract, and an
+// end-to-end SMR trace whose commit spans causally follow phase 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/factories.hpp"
+#include "obs/obs.hpp"
+#include "sim/runner.hpp"
+#include "workload/smr_workload.hpp"
+
+namespace gqs {
+namespace {
+
+// Deterministic value stream (no std::random: bit-identical everywhere).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// ---------------------------------------------------------------------
+// log_histogram
+
+TEST(LogHistogram, BucketBoundsAndWidth) {
+  const std::uint64_t samples[] = {0,    1,    2,         3,
+                                   4,    5,    7,         8,
+                                   100,  1000, 123456789, (1ull << 40) + 17,
+                                   ~0ull};
+  for (std::uint64_t v : samples) {
+    const int idx = log_histogram::bucket_index(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, log_histogram::kBuckets);
+    const std::uint64_t upper = log_histogram::bucket_upper(idx);
+    EXPECT_GE(upper, v) << v;
+    if (v < 4)
+      EXPECT_EQ(upper, v);  // exact buckets
+    else
+      EXPECT_LE(upper - v, v / 4) << v;  // <= 25% relative width
+  }
+  // Monotone: growing values never map to an earlier bucket.
+  int prev = -1;
+  for (std::uint64_t v = 0; v < 5000; ++v) {
+    const int idx = log_histogram::bucket_index(v);
+    EXPECT_GE(idx, prev) << v;
+    prev = idx;
+  }
+}
+
+TEST(LogHistogram, MergeOfPartsEqualsWhole) {
+  log_histogram whole;
+  log_histogram parts[4];
+  std::uint64_t x = 42;
+  for (int i = 0; i < 10000; ++i) {
+    x = mix64(x);
+    const std::uint64_t v = x >> (x % 50);  // wide dynamic range
+    whole.observe(v);
+    parts[i % 4].observe(v);
+  }
+  log_histogram merged;
+  for (const log_histogram& p : parts) merged.merge(p);
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(merged.count(), 10000u);
+  EXPECT_EQ(merged.sum(), whole.sum());
+}
+
+TEST(LogHistogram, PercentileBoundsAndMonotonicity) {
+  log_histogram h;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 1000; ++i) {
+    x = mix64(x);
+    h.observe(x % 100000);
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const std::uint64_t p = h.percentile(q);
+    EXPECT_GE(p, h.min());
+    EXPECT_LE(p, h.max());
+    EXPECT_GE(p, prev) << q;  // monotone in q
+    prev = p;
+  }
+  // Exact on the small-value range.
+  log_histogram small;
+  for (int i = 0; i < 4; ++i) small.observe(i);  // 0 1 2 3
+  EXPECT_EQ(small.percentile(0.25), 0u);
+  EXPECT_EQ(small.percentile(1.0), 3u);
+}
+
+TEST(LogHistogram, EmptyIsInert) {
+  log_histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  log_histogram other;
+  other.observe(9);
+  other.merge(h);  // merging empty changes nothing
+  EXPECT_EQ(other.count(), 1u);
+  EXPECT_EQ(other.min(), 9u);
+}
+
+// ---------------------------------------------------------------------
+// metrics_registry
+
+TEST(MetricsRegistry, DisabledHandlesAreNoOps) {
+  metrics_registry reg;  // never enabled
+  auto c = reg.get_counter("ops");
+  auto g = reg.get_gauge("depth");
+  auto h = reg.get_histogram("lat");
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_FALSE(static_cast<bool>(g));
+  EXPECT_FALSE(static_cast<bool>(h));
+  c.inc();
+  g.set(5);
+  h.observe(10);
+  reg.observe_counter("bridged", "", [] { return 99u; });
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(MetricsRegistry, CountersGaugesHistogramsAndLabels) {
+  metrics_registry reg;
+  reg.enable();
+  auto a = reg.get_counter("ops", "read");
+  auto b = reg.get_counter("ops", "write");
+  auto a2 = reg.get_counter("ops", "read");  // same cell
+  a.inc();
+  a.inc(4);
+  a2.inc();
+  b.inc(2);
+  reg.get_gauge("depth").set(7);
+  auto h = reg.get_histogram("lat");
+  h.observe(3);
+  h.observe(300);
+
+  const metrics_snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter_value("ops", "read"), 6u);
+  EXPECT_EQ(s.counter_value("ops", "write"), 2u);
+  EXPECT_EQ(s.gauge_level("depth"), 7);
+  ASSERT_NE(s.histogram("lat"), nullptr);
+  EXPECT_EQ(s.histogram("lat")->count(), 2u);
+  // Rows are sorted by (kind, name, label) — the determinism invariant.
+  for (std::size_t i = 1; i < s.rows.size(); ++i) {
+    const auto& p = s.rows[i - 1];
+    const auto& q = s.rows[i];
+    EXPECT_TRUE(std::tie(p.kind, p.name, p.label) <
+                std::tie(q.kind, q.name, q.label));
+  }
+}
+
+TEST(MetricsRegistry, ObserversSumUnderOneKey) {
+  metrics_registry reg;
+  reg.enable();
+  std::uint64_t n1 = 10, n2 = 32;
+  reg.observe_counter("bridged", "", [&n1] { return n1; });
+  reg.observe_counter("bridged", "", [&n2] { return n2; });
+  reg.get_counter("bridged").inc(100);  // direct cell sums in too
+  std::int64_t backlog = -3;
+  reg.observe_gauge("backlog", "", [&backlog] { return backlog; });
+  EXPECT_EQ(reg.snapshot().counter_value("bridged"), 142u);
+  EXPECT_EQ(reg.snapshot().gauge_level("backlog"), -3);
+  n1 = 11;  // live read at snapshot time
+  EXPECT_EQ(reg.snapshot().counter_value("bridged"), 143u);
+}
+
+TEST(MetricsSnapshot, MergeAddsAndUnions) {
+  metrics_registry ra, rb;
+  ra.enable();
+  rb.enable();
+  ra.get_counter("x").inc(2);
+  ra.get_gauge("g").set(5);
+  ra.get_histogram("h").observe(10);
+  rb.get_counter("x").inc(3);
+  rb.get_counter("only_b").inc(1);
+  rb.get_histogram("h").observe(20);
+
+  metrics_snapshot m = ra.snapshot();
+  m.merge(rb.snapshot());
+  EXPECT_EQ(m.counter_value("x"), 5u);
+  EXPECT_EQ(m.counter_value("only_b"), 1u);
+  EXPECT_EQ(m.gauge_level("g"), 5);
+  EXPECT_EQ(m.histogram("h")->count(), 2u);
+  EXPECT_EQ(m.histogram("h")->sum(), 30u);
+
+  // Digest separates distinct snapshots and is stable for equal ones.
+  EXPECT_EQ(m.digest(), [&] {
+    metrics_snapshot again = ra.snapshot();
+    again.merge(rb.snapshot());
+    return again.digest();
+  }());
+  EXPECT_NE(m.digest(), ra.snapshot().digest());
+
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// timeseries_sampler
+
+TEST(TimeseriesSampler, PeriodicPointsWithSumAndMaxFolding) {
+  timeseries_sampler s;
+  EXPECT_FALSE(s.enabled());
+  EXPECT_EQ(s.next_due(), sim_time_never);
+  s.configure(10);
+  ASSERT_TRUE(s.enabled());
+  EXPECT_EQ(s.next_due(), 10);
+
+  std::int64_t depth_a = 1, depth_b = 2, view = 3;
+  s.add_probe("depth", [&depth_a] { return depth_a; });
+  s.add_probe("depth", [&depth_b] { return depth_b; });  // same series: sum
+  s.add_probe("view", [&view] { return view; }, timeseries_sampler::agg::max);
+
+  s.sample_due(10);
+  depth_a = 5;
+  view = 9;
+  s.sample_due(25);  // due instants 20 only (latest <= 25)
+  EXPECT_EQ(s.next_due(), 30);
+
+  ASSERT_EQ(s.all().size(), 2u);
+  const auto& depth = s.all()[0];
+  EXPECT_EQ(depth.name, "depth");
+  ASSERT_EQ(depth.points.size(), 2u);
+  EXPECT_EQ(depth.points[0].at, 10);
+  EXPECT_EQ(depth.points[0].value, 3);  // 1 + 2
+  EXPECT_EQ(depth.points[1].at, 20);
+  EXPECT_EQ(depth.points[1].value, 7);  // 5 + 2
+  const auto& views = s.all()[1];
+  EXPECT_EQ(views.points[1].value, 9);
+
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"period_us\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("[20,7]"), std::string::npos);
+}
+
+TEST(TimeseriesSampler, DisabledSamplerDropsProbes) {
+  timeseries_sampler s;  // not configured
+  s.add_probe("x", [] { return std::int64_t{1}; });
+  s.sample_due(100);
+  EXPECT_TRUE(s.all().empty());
+}
+
+// ---------------------------------------------------------------------
+// trace_recorder
+
+TEST(TraceRecorder, SpansOnlyWhenRecording) {
+  trace_recorder rec;
+  EXPECT_FALSE(rec.active());
+  EXPECT_FALSE(rec.begin_span("op", "t", 0, {}, 5).valid());
+  rec.start_recording();
+  EXPECT_TRUE(rec.active());
+  const span_ref s = rec.begin_span("op", "t", 0, {}, 5);
+  ASSERT_TRUE(s.valid());
+  rec.end_span(s, 9);
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].start, 5);
+  EXPECT_EQ(rec.spans()[0].end, 9);
+}
+
+TEST(TraceRecorder, FinalizeClosesAndWidensParents) {
+  trace_recorder rec;
+  rec.start_recording();
+  const span_ref root = rec.begin_span("root", "t", 0, {}, 10);
+  const span_ref child = rec.begin_span("child", "t", 1, root, 20);
+  rec.end_span(child, 80);
+  rec.end_span(root, 50);  // closed before its child ends
+  const span_ref late = rec.begin_span("late", "t", 0, root, 30);
+  (void)late;  // left open
+  rec.finalize(100);
+  for (const span_rec& s : rec.spans()) {
+    EXPECT_GE(s.end, s.start) << s.name;  // everything closed
+    if (s.parent != 0) {
+      ASSERT_LT(s.parent, s.id);  // parents precede children
+      const span_rec& p = rec.spans()[s.parent - 1];
+      EXPECT_LE(p.start, s.start) << s.name;
+      EXPECT_GE(p.end, s.end) << s.name;  // parent covers the child
+    }
+  }
+  const std::string json = rec.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"root\""), std::string::npos);
+}
+
+TEST(TraceRecorder, NetworkEventsFeedSinkAndSpanLayer) {
+  trace_recorder rec;
+  std::vector<trace_event> sunk;
+  rec.set_event_sink([&sunk](const trace_event& ev) { sunk.push_back(ev); });
+  rec.start_recording();
+  trace_event ev;
+  ev.what = trace_event::kind::send;
+  ev.at = 4;
+  ev.from = 1;
+  ev.to = 2;
+  rec.network_event(ev, {});
+  ASSERT_EQ(sunk.size(), 1u);
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].name, "net.send");
+  EXPECT_EQ(rec.spans()[0].process, 1u);  // send attributed to the sender
+  EXPECT_EQ(rec.spans()[0].start, 4);
+}
+
+// ---------------------------------------------------------------------
+// end-to-end: SMR world under full telemetry
+
+constexpr sim_time kLong = 600L * 1000 * 1000;
+
+struct telemetry_run {
+  metrics_snapshot obs;
+  std::vector<timeseries_sampler::series> series;
+  std::vector<span_rec> spans;
+  std::uint64_t completed = 0;
+};
+
+telemetry_run run_smr_telemetry(std::uint64_t seed, bool spans = true) {
+  const auto gqs = threshold_quorum_system(4, 1);
+  network_options net = consensus_world::partial_sync();
+  net.channel.bytes_per_us = 0.5;  // finite links: queueing sub-spans
+  net.telemetry = true;
+  net.record_spans = spans;
+  net.sample_period = 5000;
+  smr_world w(gqs, fault_plan::none(4), seed, /*keys=*/8, {}, net);
+
+  telemetry_run out;
+  for (process_id p = 0; p < 4; ++p) {
+    w.sim.post(p, [&w, &out, p] {
+      for (std::uint64_t i = 0; i < 6; ++i)
+        w.nodes[p]->submit_write(static_cast<service_key>((p * 6 + i) % 8),
+                                 pack_client_value(p, i),
+                                 [&out](reg_version) { ++out.completed; });
+    });
+  }
+  EXPECT_TRUE(w.sim.run_until_condition([&] { return out.completed == 24; },
+                                        kLong));
+  // Drain commit broadcasts so submit spans close at every submitter.
+  EXPECT_TRUE(w.sim.run_until_condition(
+      [&] {
+        for (const smr_service* r : w.nodes)
+          if (r->counters().commands_applied < 24) return false;
+        return true;
+      },
+      kLong));
+  obs_bundle& o = w.sim.obs();
+  o.tracer.finalize(w.sim.now());
+  out.obs = o.metrics.snapshot();
+  out.series = o.sampler.all();
+  out.spans = o.tracer.spans();
+  return out;
+}
+
+TEST(ObsEndToEnd, SmrTraceIsWellFormed) {
+  const telemetry_run run = run_smr_telemetry(21);
+  ASSERT_FALSE(run.spans.empty());
+
+  // Every span: closed, parent exists, opened before and closed after it.
+  for (const span_rec& s : run.spans) {
+    EXPECT_GE(s.end, s.start) << s.name;
+    if (s.parent != 0) {
+      ASSERT_LT(s.parent, s.id) << s.name;
+      const span_rec& p = run.spans[s.parent - 1];
+      EXPECT_LE(p.start, s.start) << s.name << " under " << p.name;
+      EXPECT_GE(p.end, s.end) << s.name << " under " << p.name;
+    }
+  }
+
+  // Commit decomposition: some smr.slot root holds both a phase-2 child
+  // and a commit child, and the commit starts no earlier than phase 2
+  // ends (the commit announcement causally follows the quorum win).
+  std::map<std::uint32_t, sim_time> phase2_end, commit_start;
+  std::size_t net_under_smr = 0;
+  for (const span_rec& s : run.spans) {
+    if (s.name == "smr.phase2") phase2_end[s.parent] = s.end;
+    if (s.name == "smr.commit") commit_start[s.parent] = s.start;
+    if (s.category == "net" && s.parent != 0 &&
+        run.spans[s.parent - 1].category == "smr")
+      ++net_under_smr;
+  }
+  std::size_t decomposed = 0;
+  for (const auto& [root, p2_end] : phase2_end) {
+    ASSERT_NE(root, 0u);
+    EXPECT_EQ(run.spans[root - 1].name, "smr.slot");
+    const auto c = commit_start.find(root);
+    if (c == commit_start.end()) continue;
+    EXPECT_GE(c->second, p2_end) << "commit before phase-2 completion";
+    ++decomposed;
+  }
+  EXPECT_GT(decomposed, 0u);
+  EXPECT_GT(net_under_smr, 0u);  // wire traffic hangs off protocol spans
+
+  // Registry saw the run through the bridges.
+  EXPECT_GE(run.obs.counter_value("smr.commands_applied"), 4u * 24u);
+  EXPECT_GT(run.obs.counter_value("sim.messages_delivered"), 0u);
+  // Sampler produced series (net gauge + smr probes registered).
+  EXPECT_FALSE(run.series.empty());
+  std::size_t points = 0;
+  for (const auto& s : run.series) points += s.points.size();
+  EXPECT_GT(points, 0u);
+}
+
+TEST(ObsEndToEnd, TraceIsAPureFunctionOfTheRun) {
+  const telemetry_run a = run_smr_telemetry(33);
+  const telemetry_run b = run_smr_telemetry(33);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i)
+    ASSERT_EQ(a.spans[i], b.spans[i]) << "span " << i;
+  EXPECT_EQ(a.obs, b.obs);
+  EXPECT_EQ(a.obs.digest(), b.obs.digest());
+}
+
+// Registry aggregation through the experiment runner is bit-identical at
+// any worker thread count: snapshots fold in spec order.
+TEST(ObsEndToEnd, RunnerAggregatesBitIdenticalAcrossThreadCounts) {
+  auto cell = [](std::uint64_t seed) {
+    return [seed] {
+      const telemetry_run t = run_smr_telemetry(seed, /*spans=*/false);
+      run_result r;
+      r.obs = t.obs;
+      r.stats["completed"] = static_cast<double>(t.completed);
+      return r;
+    };
+  };
+  std::vector<run_spec> specs;
+  for (std::uint64_t s = 50; s < 54; ++s)
+    specs.push_back({"cell-" + std::to_string(s), cell(s)});
+
+  const auto r1 = experiment_runner(1).run_all(specs);
+  const auto r2 = experiment_runner(2).run_all(specs);
+  const auto r8 = experiment_runner(8).run_all(specs);
+  const run_aggregate a1 = aggregate(r1);
+  const run_aggregate a2 = aggregate(r2);
+  const run_aggregate a8 = aggregate(r8);
+  EXPECT_EQ(a1.obs, a2.obs);
+  EXPECT_EQ(a1.obs, a8.obs);
+  EXPECT_EQ(a1.obs.digest(), a8.obs.digest());
+  EXPECT_EQ(to_json(a1).substr(0, to_json(a1).rfind("\"wall_ms\"")),
+            to_json(a8).substr(0, to_json(a8).rfind("\"wall_ms\"")));
+  EXPECT_FALSE(a1.obs.empty());
+  EXPECT_NE(to_json(a1).find("\"obs\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gqs

@@ -25,9 +25,9 @@ struct traced_world {
   std::vector<silent_node*> nodes;
   std::vector<trace_event> events;
 
-  explicit traced_world(fault_plan faults, std::uint64_t seed = 1)
-      : sim(faults.system_size(), network_options{}, std::move(faults),
-            seed) {
+  explicit traced_world(fault_plan faults, std::uint64_t seed = 1,
+                        network_options net = {})
+      : sim(faults.system_size(), net, std::move(faults), seed) {
     for (process_id p = 0; p < sim.size(); ++p) {
       auto n = std::make_unique<silent_node>();
       nodes.push_back(n.get());
@@ -145,6 +145,45 @@ TEST(Trace, TimestampsMonotoneAcrossEpochBoundaries) {
     if (ev.what == trace_event::kind::drop_channel) {
       EXPECT_GE(ev.at, 7_ms);
     }
+}
+
+// The legacy event sink and the span layer are one pipeline: with span
+// recording on, every sink callback also lands as a "net"-category leaf
+// span — same order, same timestamp, deliveries attributed to the
+// receiver and everything else to the sender.
+TEST(Trace, SinkEventsAreLeafSpansOfTheSamePipeline) {
+  fault_plan faults = fault_plan::none(3);
+  faults.disconnect(0, 2, 5_ms);
+  faults.crash(2, 40_ms);
+  network_options net;
+  net.record_spans = true;
+  traced_world w(std::move(faults), 9, net);
+  for (int i = 0; i < 10; ++i) {
+    w.nodes[0]->send(1, make_message<probe_msg>());
+    w.nodes[0]->send(2, make_message<probe_msg>());  // downed after 5 ms
+    w.nodes[1]->send(2, make_message<probe_msg>());
+    w.nodes[0]->set_timer(3_ms);
+    w.sim.run_until(w.sim.now() + 4_ms);
+  }
+  w.sim.run_until(1_s);
+  w.sim.obs().tracer.finalize(w.sim.now());
+
+  std::vector<const span_rec*> net_leaves;
+  for (const span_rec& s : w.sim.obs().tracer.spans())
+    if (s.category == "net") net_leaves.push_back(&s);
+  ASSERT_EQ(net_leaves.size(), w.events.size());
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    const trace_event& ev = w.events[i];
+    const span_rec& s = *net_leaves[i];
+    EXPECT_EQ(s.start, ev.at) << "event " << i;
+    const process_id expect =
+        ev.what == trace_event::kind::deliver ? ev.to : ev.from;
+    EXPECT_EQ(s.process, expect) << "event " << i;
+    EXPECT_EQ(s.name.rfind("net.", 0), 0u) << s.name;
+  }
+  // Both drop kinds and deliveries made it through as spans too.
+  EXPECT_GT(w.count(trace_event::kind::drop_channel), 0u);
+  EXPECT_GT(w.count(trace_event::kind::deliver), 0u);
 }
 
 }  // namespace
